@@ -1,0 +1,174 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation. Each benchmark reports the headline reproduced metrics via
+// b.ReportMetric so `go test -bench=. -benchmem` prints the same rows the
+// paper's evaluation section reports.
+//
+// The figures run at reduced generated scale with work amplification (see
+// internal/experiments), so a single benchmark iteration is the full
+// measured experiment including the paper's five-run protocol.
+package main
+
+import (
+	"testing"
+
+	"ecodb/internal/experiments"
+)
+
+// benchConfigCommercial is a lighter protocol for benchmarking (3 runs per
+// point instead of 5) at the same paper-equivalent scale factor.
+func benchConfigCommercial() experiments.Config {
+	cfg := experiments.DefaultCommercialConfig()
+	cfg.ProtocolRuns = 3
+	return cfg
+}
+
+func benchConfigMySQL() experiments.Config {
+	cfg := experiments.DefaultMySQLConfig()
+	cfg.ProtocolRuns = 3
+	return cfg
+}
+
+// BenchmarkTable1 regenerates the system power breakdown (paper Table 1).
+func BenchmarkTable1(b *testing.B) {
+	var last experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table1()
+	}
+	for _, s := range last.Stages {
+		b.ReportMetric(float64(s.WallW), "W_"+metricName(s.Label))
+	}
+}
+
+func metricName(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFigure1 regenerates the commercial-DBMS operating-point plot
+// (paper Figure 1): stock vs settings A/B/C.
+func BenchmarkFigure1(b *testing.B) {
+	var last experiments.Figure1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure1(benchConfigCommercial())
+	}
+	if len(last.Measurements) == 4 {
+		b.ReportMetric(last.Measurements[0].Time.Seconds(), "s_stock")
+		b.ReportMetric(float64(last.Measurements[0].CPUEnergy), "J_stock")
+		b.ReportMetric(last.Measurements[1].Time.Seconds(), "s_settingA")
+		b.ReportMetric(float64(last.Measurements[1].CPUEnergy), "J_settingA")
+	}
+}
+
+// BenchmarkFigure2 regenerates the commercial-DBMS ratio sweep with both
+// voltage downgrades (paper Figure 2).
+func BenchmarkFigure2(b *testing.B) {
+	var last experiments.FigureRatioResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure2(benchConfigCommercial())
+	}
+	for _, pt := range last.Points {
+		if pt.Setting.IsStock() {
+			continue
+		}
+		b.ReportMetric(pt.EDPChange*100, "EDP%_"+metricName(pt.Setting.String()))
+	}
+}
+
+// BenchmarkFigure3 regenerates the MySQL MEMORY-engine ratio sweep (paper
+// Figure 3).
+func BenchmarkFigure3(b *testing.B) {
+	var last experiments.FigureRatioResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure3(benchConfigMySQL())
+	}
+	for _, pt := range last.Points {
+		if pt.Setting.IsStock() {
+			continue
+		}
+		b.ReportMetric(pt.EDPChange*100, "EDP%_"+metricName(pt.Setting.String()))
+	}
+}
+
+// BenchmarkFigure4 regenerates the observed-vs-theoretical EDP comparison
+// (paper Figure 4), reporting the worst divergence between the measured
+// EDP and the V²/F model.
+func BenchmarkFigure4(b *testing.B) {
+	var last experiments.Figure4Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure4(benchConfigMySQL())
+	}
+	b.ReportMetric(last.MaxDivergence()*100, "maxdiv%")
+}
+
+// BenchmarkFigure5 regenerates the disk throughput and energy-per-KB study
+// (paper Figure 5).
+func BenchmarkFigure5(b *testing.B) {
+	var last experiments.Figure5Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure5()
+	}
+	r := last.RandomRatios()
+	b.ReportMetric(r[0], "x_rand8KB")
+	b.ReportMetric(r[1], "x_rand16KB")
+	b.ReportMetric(r[2], "x_rand32KB")
+}
+
+// BenchmarkFigure6 regenerates the QED study (paper Figure 6).
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchConfigMySQL()
+	var last experiments.Figure6Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure6(cfg)
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(100*(1-p.EnergyRatio), "Esave%_batch"+itoa(p.BatchSize))
+		b.ReportMetric(100*(p.ResponseRatio-1), "resp%_batch"+itoa(p.BatchSize))
+	}
+}
+
+// BenchmarkFigure6HashSet is the ablation: QED with the hash-set merge
+// strategy instead of the paper's linear OR chain.
+func BenchmarkFigure6HashSet(b *testing.B) {
+	cfg := benchConfigMySQL()
+	var last experiments.Figure6Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure6HashSet(cfg)
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(100*(1-p.EnergyRatio), "Esave%_batch"+itoa(p.BatchSize))
+	}
+}
+
+// BenchmarkWarmCold regenerates the §3.5 warm-vs-cold study.
+func BenchmarkWarmCold(b *testing.B) {
+	var last experiments.WarmColdResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.WarmCold(benchConfigCommercial())
+	}
+	b.ReportMetric(last.Warm.Time.Seconds(), "s_warm")
+	b.ReportMetric(last.Cold.Time.Seconds(), "s_cold")
+	b.ReportMetric(float64(last.Warm.DiskEnergy), "J_warmdisk")
+	b.ReportMetric(float64(last.Cold.DiskEnergy), "J_colddisk")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,86 @@
+// Command dbgen generates TPC-H tables as pipe-separated .tbl files, the
+// classic dbgen output format.
+//
+// Usage:
+//
+//	dbgen [-sf 0.1] [-seed 42] [-o dir] [table...]
+//
+// With no table arguments, all eight tables are generated.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/tpch"
+)
+
+var (
+	flagSF   = flag.Float64("sf", 0.01, "TPC-H scale factor")
+	flagSeed = flag.Uint64("seed", 42, "generator seed")
+	flagOut  = flag.String("o", ".", "output directory")
+)
+
+func main() {
+	flag.Parse()
+	tables := flag.Args()
+
+	cat := catalog.NewCatalog()
+	tpch.NewGenerator(*flagSF, *flagSeed).Load(cat, tables...)
+
+	for _, name := range cat.Names() {
+		t := cat.MustTable(name)
+		if err := writeTable(t); err != nil {
+			fmt.Fprintln(os.Stderr, "dbgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeTable(t *catalog.Table) error {
+	path := filepath.Join(*flagOut, t.Name+".tbl")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w := bufio.NewWriterSize(f, 1<<20)
+	var sb strings.Builder
+	for p := 0; p < t.Heap.NumPages(); p++ {
+		for _, row := range t.Heap.Page(p).Rows {
+			sb.Reset()
+			for i, v := range row {
+				if i > 0 {
+					sb.WriteByte('|')
+				}
+				sb.WriteString(formatValue(v))
+			}
+			sb.WriteByte('\n')
+			if _, err := w.WriteString(sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d rows (%.1f KB) -> %s\n",
+		t.Name, t.Heap.NumRows(), float64(t.Heap.Bytes())/1024, path)
+	return nil
+}
+
+func formatValue(v expr.Value) string {
+	switch v.Kind {
+	case expr.KindFloat:
+		return fmt.Sprintf("%.2f", v.F)
+	default:
+		return v.String()
+	}
+}

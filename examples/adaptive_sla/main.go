@@ -1,0 +1,55 @@
+// Adaptive SLA: run a workload under the mid-flight adaptive PVC
+// controller (§1's "dynamically adapt ... to meet our response time and
+// energy goals"): it starts at the deepest energy-saving point and steps
+// toward stock whenever the workload falls behind its response-time
+// budget.
+package main
+
+import (
+	"fmt"
+
+	"ecodb/internal/core"
+	"ecodb/internal/engine"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/sim"
+	"ecodb/internal/tpch"
+	"ecodb/internal/workload"
+)
+
+func main() {
+	prof := engine.ProfileCommercial()
+	prof.WorkAmplification = 25
+	sys := core.NewSystem(prof)
+	tpch.NewGenerator(0.02, 11).Load(sys.Engine.Catalog(),
+		tpch.Region, tpch.Nation, tpch.Supplier, tpch.Customer, tpch.Orders, tpch.Lineitem)
+	sys.Engine.WarmAll()
+	queries := workload.NewQueries("q5", tpch.Q5Workload(sys.Engine.Catalog()))
+
+	// Baseline stock run to size the budget.
+	t0 := sys.Machine.Clock.Now()
+	workload.RunSequential(sys.Engine, sys.Machine.Clock, queries)
+	stockTime := sys.Machine.Clock.Now().Sub(t0)
+	budget := sim.Duration(float64(stockTime) * 1.04) // allow 4% slack
+
+	adaptive := &core.AdaptivePVC{
+		Sys: sys,
+		Ladder: []core.Setting{
+			core.PVCSetting(0.15, cpu.DowngradeMedium), // deepest saving
+			core.PVCSetting(0.10, cpu.DowngradeMedium),
+			core.PVCSetting(0.05, cpu.DowngradeMedium),
+			core.Stock(),
+		},
+		Budget: budget,
+	}
+
+	total, decisions := adaptive.Run(queries)
+	fmt.Printf("stock time %v; budget %v; adaptive run %v\n\n", stockTime, budget, total)
+	for _, d := range decisions {
+		fmt.Printf("  %s\n", d)
+	}
+	if total <= budget {
+		fmt.Printf("\nbudget met with energy-saving settings engaged for part of the run\n")
+	} else {
+		fmt.Printf("\nbudget missed by %v — ladder exhausted at stock\n", total-budget)
+	}
+}

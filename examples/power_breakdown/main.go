@@ -1,0 +1,44 @@
+// Power breakdown: reproduce the paper's Table 1 by assembling the system
+// component by component and reading the wall meter, then show the live
+// wall/DC/CPU readings of the full system in different states.
+package main
+
+import (
+	"fmt"
+
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/hw/mobo"
+	"ecodb/internal/hw/system"
+)
+
+func main() {
+	fmt.Println("Table 1 (component staging, no disk, no OS):")
+	fmt.Print(system.FormatBreakdown(system.PowerBreakdown()))
+
+	// Live readings of the fully assembled machine.
+	m := system.NewSUT()
+	fmt.Println("\nfully assembled system:")
+	report := func(label string) {
+		t := m.Clock.Now()
+		fmt.Printf("  %-30s wall %6.1fW  dc %6.1fW  cpu %6.1fW\n",
+			label, float64(m.WallPowerAt(t)), float64(m.DCPowerAt(t)),
+			float64(m.EPU().ReadWatts(t)))
+	}
+	report("idle (stock)")
+
+	// A two-core compute burst: the trace records busy power while the
+	// work runs; read the meters mid-burst by probing the trace.
+	m.CPU.SetParallelism(2)
+	busyStart := m.Clock.Now()
+	m.CPU.Run(3.2e9, cpu.Compute)
+	fmt.Printf("  %-30s cpu %6.1fW over %v\n", "2-core compute burst",
+		float64(m.CPU.Trace().MeanPower(busyStart, m.Clock.Now())),
+		m.Clock.Now().Sub(busyStart))
+
+	// Apply the paper's tuned platform profile and compare idle draw.
+	m.Tuner().Apply(mobo.Tuned(0.05, cpu.DowngradeMedium))
+	report("tuned idle (5% uc, medium)")
+
+	m.Tuner().Apply(mobo.Stock())
+	report("back to stock")
+}

@@ -1,0 +1,55 @@
+// Quickstart: assemble the simulated system under test, load TPC-H, run
+// one query at the stock operating point and one energy-saving PVC point,
+// and print the energy/performance tradeoff.
+package main
+
+import (
+	"fmt"
+
+	"ecodb/internal/core"
+	"ecodb/internal/engine"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/tpch"
+	"ecodb/internal/workload"
+)
+
+func main() {
+	// A machine (E8500, DDR3, Caviar SE16, VX450W) with a commercial-
+	// profile database engine and the paper's measurement instruments.
+	// Work amplification makes the tiny demo dataset behave like a
+	// mid-size one so the 1 Hz power sampling has something to sample.
+	prof := engine.ProfileCommercial()
+	prof.WorkAmplification = 50
+	sys := core.NewSystem(prof)
+
+	// Load TPC-H at a small scale factor and warm the buffer pool.
+	tpch.NewGenerator(0.01, 1).Load(sys.Engine.Catalog(),
+		tpch.Region, tpch.Nation, tpch.Supplier, tpch.Customer, tpch.Orders, tpch.Lineitem)
+	sys.Engine.WarmAll()
+
+	// One TPC-H Q5: revenue by nation for ASIA orders placed in 1994.
+	q5 := tpch.Q5(sys.Engine.Catalog(), "ASIA", 1994)
+	res, stats := sys.Engine.Exec(q5)
+	fmt.Println("Q5(ASIA, 1994) results:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-12s revenue %.2f\n", row[0].S, row[1].F)
+	}
+	fmt.Printf("executed in %v (simulated), %d rows\n\n", stats.Duration, stats.RowsOut)
+
+	// Measure a 10-query workload at stock and at the paper's setting A
+	// (5% underclock, medium voltage downgrade).
+	queries := workload.NewQueries("q5", tpch.Q5Workload(sys.Engine.Catalog()))
+	stock := sys.MeasureOnce(core.Stock(), func() {
+		workload.RunSequential(sys.Engine, sys.Machine.Clock, queries)
+	})
+	saving := sys.MeasureOnce(core.PVCSetting(0.05, cpu.DowngradeMedium), func() {
+		workload.RunSequential(sys.Engine, sys.Machine.Clock, queries)
+	})
+
+	fmt.Println("operating points (10 × Q5):")
+	fmt.Printf("  stock:        %v\n", stock)
+	fmt.Printf("  PVC setting:  %v\n", saving)
+	fmt.Printf("\nPVC trades %.1f%% response time for %.1f%% CPU energy savings.\n",
+		100*(float64(saving.Time)/float64(stock.Time)-1),
+		100*(1-float64(saving.CPUEnergyExact)/float64(stock.CPUEnergyExact)))
+}

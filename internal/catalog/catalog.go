@@ -1,0 +1,161 @@
+// Package catalog holds table schemas and the table registry of the
+// simulated database engine.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"ecodb/internal/expr"
+	"ecodb/internal/storage"
+)
+
+// Column describes one column.
+type Column struct {
+	Name string
+	Kind expr.Kind
+}
+
+// Schema is an ordered set of columns with name lookup.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema; duplicate column names panic (schemas are
+// static in this system).
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{cols: cols, index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.index[c.Name]; dup {
+			panic(fmt.Sprintf("catalog: duplicate column %q", c.Name))
+		}
+		s.index[c.Name] = i
+	}
+	return s
+}
+
+// Columns returns the column list.
+func (s *Schema) Columns() []Column { return s.cols }
+
+// NumCols returns the column count.
+func (s *Schema) NumCols() int { return len(s.cols) }
+
+// Index returns the position of a column by name.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex returns the position of a column, panicking if absent.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("catalog: no column %q", name))
+	}
+	return i
+}
+
+// Col returns an expression referencing the named column.
+func (s *Schema) Col(name string) expr.Col {
+	return expr.Col{Idx: s.MustIndex(name), Name: name}
+}
+
+// Concat returns a schema with b's columns appended to a's (join output).
+func Concat(a, b *Schema) *Schema {
+	cols := make([]Column, 0, a.NumCols()+b.NumCols())
+	cols = append(cols, a.cols...)
+	cols = append(cols, b.cols...)
+	// Joins can legitimately repeat names; qualify duplicates.
+	seen := make(map[string]int)
+	for i := range cols {
+		n := cols[i].Name
+		seen[n]++
+		if seen[n] > 1 {
+			cols[i].Name = fmt.Sprintf("%s_%d", n, seen[n])
+		}
+	}
+	return NewSchema(cols...)
+}
+
+// Table couples a schema with heap storage.
+type Table struct {
+	Name   string
+	Schema *Schema
+	Heap   *storage.Heap
+}
+
+// NewTable creates an empty table with the default page size.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, Heap: storage.NewHeap(0)}
+}
+
+// Insert validates arity and appends a row.
+func (t *Table) Insert(row expr.Row) {
+	if len(row) != t.Schema.NumCols() {
+		panic(fmt.Sprintf("catalog: row arity %d does not match %s schema arity %d",
+			len(row), t.Name, t.Schema.NumCols()))
+	}
+	t.Heap.Append(row)
+}
+
+// Catalog is the table registry.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Create registers a table; re-creating an existing name is an error.
+func (c *Catalog) Create(t *Table) error {
+	if _, exists := c.tables[t.Name]; exists {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// MustCreate registers a table, panicking on duplicates.
+func (c *Catalog) MustCreate(t *Table) {
+	if err := c.Create(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable looks up a table, panicking if absent.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Names returns all table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the combined heap footprint of all tables.
+func (c *Catalog) TotalBytes() int64 {
+	var n int64
+	for _, t := range c.tables {
+		n += t.Heap.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package catalog
+
+import (
+	"testing"
+
+	"ecodb/internal/expr"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "id", Kind: expr.KindInt},
+		Column{Name: "name", Kind: expr.KindString},
+	)
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema()
+	if s.NumCols() != 2 {
+		t.Fatalf("NumCols = %d", s.NumCols())
+	}
+	if i, ok := s.Index("name"); !ok || i != 1 {
+		t.Fatalf("Index(name) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Fatal("Index(missing) should be absent")
+	}
+	if s.MustIndex("id") != 0 {
+		t.Fatal("MustIndex(id) != 0")
+	}
+	col := s.Col("name")
+	if col.Idx != 1 || col.Name != "name" {
+		t.Fatalf("Col = %+v", col)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column did not panic")
+		}
+	}()
+	NewSchema(Column{Name: "a"}, Column{Name: "a"})
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex(missing) did not panic")
+		}
+	}()
+	testSchema().MustIndex("missing")
+}
+
+func TestConcatQualifiesDuplicates(t *testing.T) {
+	a := NewSchema(Column{Name: "k", Kind: expr.KindInt}, Column{Name: "x", Kind: expr.KindInt})
+	b := NewSchema(Column{Name: "k", Kind: expr.KindInt}, Column{Name: "y", Kind: expr.KindInt})
+	c := Concat(a, b)
+	if c.NumCols() != 4 {
+		t.Fatalf("NumCols = %d", c.NumCols())
+	}
+	// First k keeps its name; the duplicate is qualified.
+	if c.MustIndex("k") != 0 {
+		t.Fatal("first k should stay at 0")
+	}
+	if c.MustIndex("k_2") != 2 {
+		t.Fatal("duplicate k should be renamed k_2 at position 2")
+	}
+}
+
+func TestTableInsertArity(t *testing.T) {
+	tb := NewTable("t", testSchema())
+	tb.Insert(expr.Row{expr.Int(1), expr.String("x")})
+	if tb.Heap.NumRows() != 1 {
+		t.Fatal("row not inserted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad arity did not panic")
+		}
+	}()
+	tb.Insert(expr.Row{expr.Int(1)})
+}
+
+func TestCatalogCreateAndLookup(t *testing.T) {
+	c := NewCatalog()
+	c.MustCreate(NewTable("b", testSchema()))
+	c.MustCreate(NewTable("a", testSchema()))
+
+	if _, err := c.Table("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("zzz"); err == nil {
+		t.Fatal("missing table lookup should error")
+	}
+	if err := c.Create(NewTable("a", testSchema())); err == nil {
+		t.Fatal("duplicate create should error")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v, want sorted [a b]", names)
+	}
+}
+
+func TestCatalogTotalBytes(t *testing.T) {
+	c := NewCatalog()
+	tb := NewTable("t", testSchema())
+	tb.Insert(expr.Row{expr.Int(1), expr.String("hello")})
+	c.MustCreate(tb)
+	if c.TotalBytes() != tb.Heap.Bytes() {
+		t.Fatalf("TotalBytes = %d, want %d", c.TotalBytes(), tb.Heap.Bytes())
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable(missing) did not panic")
+		}
+	}()
+	NewCatalog().MustTable("missing")
+}

@@ -1,0 +1,52 @@
+package energy
+
+import (
+	"sort"
+
+	"ecodb/internal/sim"
+)
+
+// TotalAt sums the instantaneous power of several traces at instant t.
+func TotalAt(t sim.Time, traces ...*Trace) Watts {
+	var w Watts
+	for _, tr := range traces {
+		w += tr.At(t)
+	}
+	return w
+}
+
+// Integrate computes ∫ f(Σ traces) dt over [t0, t1] exactly, by walking the
+// union of all traces' breakpoints. The transform f lets callers model a
+// nonlinear stage between the summed draw and the measured quantity — the
+// power supply's load-dependent efficiency when integrating wall power, or
+// the identity for plain DC energy.
+func Integrate(t0, t1 sim.Time, f func(Watts) Watts, traces ...*Trace) Joules {
+	if t1 <= t0 {
+		return 0
+	}
+	if f == nil {
+		f = func(w Watts) Watts { return w }
+	}
+	// Union of breakpoints within (t0, t1).
+	var cuts []sim.Time
+	for _, tr := range traces {
+		for _, s := range tr.steps {
+			if s.at > t0 && s.at < t1 {
+				cuts = append(cuts, s.at)
+			}
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	var e Joules
+	cur := t0
+	for _, c := range cuts {
+		if c == cur {
+			continue
+		}
+		e += f(TotalAt(cur, traces...)).For(c.Sub(cur).Seconds())
+		cur = c
+	}
+	e += f(TotalAt(cur, traces...)).For(t1.Sub(cur).Seconds())
+	return e
+}

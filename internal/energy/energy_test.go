@@ -1,0 +1,245 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecodb/internal/sim"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWattsJoulesRoundTrip(t *testing.T) {
+	j := Watts(25).For(10)
+	if j != 250 {
+		t.Fatalf("25W for 10s = %v J, want 250", j)
+	}
+	if w := j.Over(10); w != 25 {
+		t.Fatalf("250J over 10s = %v W, want 25", w)
+	}
+}
+
+func TestJoulesOverZeroDuration(t *testing.T) {
+	if w := Joules(100).Over(0); w != 0 {
+		t.Fatalf("Over(0) = %v, want 0", w)
+	}
+}
+
+func TestEDPOf(t *testing.T) {
+	// The paper's stock commercial reading: ~1228.7 J over ~48.5 s.
+	e := EDPOf(1228.7, 48.5)
+	if !almost(float64(e), 59591.95, 0.1) {
+		t.Fatalf("EDP = %v", e)
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if got := RelChange(100.0, 51.0); !almost(got, -0.49, 1e-12) {
+		t.Fatalf("RelChange = %v, want -0.49", got)
+	}
+	if got := RelChange(0.0, 5.0); got != 0 {
+		t.Fatalf("RelChange from 0 = %v, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(Joules(200), Joules(100)); got != 0.5 {
+		t.Fatalf("Ratio = %v", got)
+	}
+}
+
+func TestIsoEDP(t *testing.T) {
+	// Points on the iso-EDP curve keep energy×time product constant.
+	for _, e := range []float64{0.25, 0.5, 1, 2} {
+		tr := IsoEDP(e)
+		if !almost(e*tr, 1, 1e-12) {
+			t.Fatalf("IsoEDP(%v)*%v = %v, want 1", e, e, e*tr)
+		}
+	}
+	if IsoEDP(0) != 0 {
+		t.Fatal("IsoEDP(0) should be 0")
+	}
+}
+
+func TestIsoEDPCurve(t *testing.T) {
+	c := IsoEDPCurve(0.5, 1.0, 6)
+	if len(c) != 6 {
+		t.Fatalf("curve has %d points, want 6", len(c))
+	}
+	if c[0][0] != 0.5 || c[5][0] != 1.0 {
+		t.Fatalf("curve endpoints wrong: %v %v", c[0], c[5])
+	}
+	for _, p := range c {
+		if !almost(p[0]*p[1], 1, 1e-12) {
+			t.Fatalf("curve point %v off the iso-EDP line", p)
+		}
+	}
+}
+
+func TestTraceAtAndEnergy(t *testing.T) {
+	var tr Trace
+	tr.Set(0, 10)
+	tr.Set(5, 20)
+	tr.Set(10, 0)
+
+	if got := tr.At(2); got != 10 {
+		t.Fatalf("At(2) = %v", got)
+	}
+	if got := tr.At(5); got != 20 {
+		t.Fatalf("At(5) = %v", got)
+	}
+	if got := tr.At(12); got != 0 {
+		t.Fatalf("At(12) = %v", got)
+	}
+	// 5s at 10W + 5s at 20W = 150 J.
+	if got := tr.Energy(0, 10); got != 150 {
+		t.Fatalf("Energy(0,10) = %v, want 150", got)
+	}
+	// Partial window: [3, 7) = 2s*10 + 2s*20 = 60 J.
+	if got := tr.Energy(3, 7); got != 60 {
+		t.Fatalf("Energy(3,7) = %v, want 60", got)
+	}
+}
+
+func TestTraceBeforeFirstStep(t *testing.T) {
+	var tr Trace
+	tr.Set(5, 40)
+	if got := tr.At(1); got != 0 {
+		t.Fatalf("At before first step = %v, want 0", got)
+	}
+	if got := tr.Energy(0, 10); got != 200 {
+		t.Fatalf("Energy = %v, want 200 (only 5s at 40W)", got)
+	}
+}
+
+func TestTraceSameInstantSupersedes(t *testing.T) {
+	var tr Trace
+	tr.Set(1, 10)
+	tr.Set(1, 30)
+	if got := tr.At(1); got != 30 {
+		t.Fatalf("At(1) = %v, want 30 after supersede", got)
+	}
+	if tr.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1", tr.Steps())
+	}
+}
+
+func TestTraceDedupsEqualPower(t *testing.T) {
+	var tr Trace
+	tr.Set(0, 10)
+	tr.Set(1, 10)
+	tr.Set(2, 10)
+	if tr.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1 (equal powers deduped)", tr.Steps())
+	}
+}
+
+func TestTraceOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Set did not panic")
+		}
+	}()
+	var tr Trace
+	tr.Set(5, 1)
+	tr.Set(4, 1)
+}
+
+func TestTraceMeanPower(t *testing.T) {
+	var tr Trace
+	tr.Set(0, 10)
+	tr.Set(10, 30)
+	if got := tr.MeanPower(0, 20); got != 20 {
+		t.Fatalf("MeanPower = %v, want 20", got)
+	}
+}
+
+func TestTraceSample(t *testing.T) {
+	var tr Trace
+	tr.Set(0, 5)
+	tr.Set(2.5, 15)
+	s := tr.Sample(0, 5, sim.Second)
+	want := []Watts{5, 5, 5, 15, 15}
+	if len(s) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(s), len(want))
+	}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("sample %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	var tr Trace
+	tr.Set(0, 5)
+	tr.Reset()
+	if tr.Steps() != 0 || tr.Last() != 0 {
+		t.Fatal("Reset did not clear the trace")
+	}
+}
+
+// Property: for any piecewise trace, Energy is additive over adjacent
+// windows.
+func TestTraceEnergyAdditive(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var tr Trace
+		at := sim.Time(0)
+		for _, b := range raw {
+			at = at.Add(sim.Duration(b%10) * sim.Millisecond)
+			tr.Set(at, Watts(b%50))
+		}
+		end := at.Add(sim.Second)
+		mid := sim.Time(float64(end) / 2)
+		whole := float64(tr.Energy(0, end))
+		split := float64(tr.Energy(0, mid)) + float64(tr.Energy(mid, end))
+		return almost(whole, split, 1e-9*math.Max(1, whole))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Integrate with identity transform equals the sum of per-trace
+// energies.
+func TestIntegrateMatchesSumOfEnergies(t *testing.T) {
+	f := func(raw []uint8, raw2 []uint8) bool {
+		mk := func(bytes []uint8) *Trace {
+			var tr Trace
+			at := sim.Time(0)
+			for _, b := range bytes {
+				at = at.Add(sim.Duration(b%7+1) * sim.Millisecond)
+				tr.Set(at, Watts(b%30))
+			}
+			return &tr
+		}
+		a, b := mk(raw), mk(raw2)
+		end := sim.Time(2)
+		got := float64(Integrate(0, end, nil, a, b))
+		want := float64(a.Energy(0, end)) + float64(b.Energy(0, end))
+		return almost(got, want, 1e-9*math.Max(1, want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrateTransform(t *testing.T) {
+	var tr Trace
+	tr.Set(0, 10)
+	// Transform doubling the power should double the energy.
+	got := Integrate(0, 5, func(w Watts) Watts { return 2 * w }, &tr)
+	if got != 100 {
+		t.Fatalf("Integrate with 2x transform = %v, want 100", got)
+	}
+}
+
+func TestTotalAt(t *testing.T) {
+	var a, b Trace
+	a.Set(0, 3)
+	b.Set(0, 4)
+	if got := TotalAt(1, &a, &b); got != 7 {
+		t.Fatalf("TotalAt = %v, want 7", got)
+	}
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"fmt"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/exec"
+	"ecodb/internal/expr"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/hw/disk"
+	"ecodb/internal/plan"
+	"ecodb/internal/sim"
+	"ecodb/internal/storage"
+)
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema *catalog.Schema
+	Rows   []expr.Row
+}
+
+// ExecStats describes one statement execution.
+type ExecStats struct {
+	Duration sim.Duration
+	RowsOut  int64
+	// BytesOut is the estimated result wire size.
+	BytesOut int64
+	// Pool traffic for disk-backed engines (zero for memory engines).
+	PoolHits, PoolMisses int64
+}
+
+// Engine is one database engine instance bound to a simulated machine.
+type Engine struct {
+	prof Profile
+	mach Machine
+	cat  *catalog.Catalog
+	pool *storage.BufferPool
+	rng  *sim.RNG
+}
+
+// Machine is the slice of the simulated system an engine needs: a CPU to
+// charge work to and a blocking disk-read primitive.
+type Machine interface {
+	CPUModel() *cpu.CPU
+	BlockingRead(n int64, pattern disk.Pattern) sim.Duration
+}
+
+// New returns an engine with an empty catalog on the given machine.
+func New(prof Profile, mach Machine) *Engine {
+	e := &Engine{
+		prof: prof,
+		mach: mach,
+		cat:  catalog.NewCatalog(),
+		rng:  sim.NewRNG(prof.Seed),
+	}
+	if !prof.MemoryEngine {
+		if prof.PoolBytes <= 0 {
+			panic("engine: disk-backed profile needs a buffer pool size")
+		}
+		e.pool = storage.NewBufferPool(prof.PoolBytes, &reader{
+			m:      mach,
+			amp:    prof.Amplification(),
+			extent: prof.ExtentBytes,
+		})
+	}
+	return e
+}
+
+// reader adapts the machine to the buffer pool's DiskReader: it amplifies
+// read volume per the profile and models tablespace fragmentation by
+// charging one seek per extent of sequentially streamed bytes.
+type reader struct {
+	m      Machine
+	amp    float64
+	extent int64
+	carry  int64 // sequential bytes since the last charged seek
+}
+
+func (r *reader) BlockingRead(n int64, sequential bool) {
+	n = int64(float64(n) * r.amp)
+	if !sequential {
+		r.carry = 0
+		r.m.BlockingRead(n, disk.Random)
+		return
+	}
+	if r.extent > 0 {
+		r.carry += n
+		for r.carry >= r.extent {
+			r.carry -= r.extent
+			// A zero-byte random read is a pure head seek: the extent
+			// boundary cost on a fragmented heap file.
+			r.m.BlockingRead(0, disk.Random)
+		}
+	}
+	r.m.BlockingRead(n, disk.Sequential)
+}
+
+// Profile returns the engine's configuration.
+func (e *Engine) Profile() Profile { return e.prof }
+
+// Catalog returns the table registry; loaders insert data through it.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Pool returns the buffer pool, or nil for memory engines.
+func (e *Engine) Pool() *storage.BufferPool { return e.pool }
+
+// WarmAll marks every table resident, the state after the paper's warm-up
+// runs. Memory engines are always warm.
+func (e *Engine) WarmAll() {
+	if e.pool == nil {
+		return
+	}
+	for _, name := range e.cat.Names() {
+		t := e.cat.MustTable(name)
+		e.pool.Warm(name, t.Heap)
+	}
+}
+
+// ColdStart empties the buffer pool, as after the reboot in the paper's
+// §3.5 cold experiment. Memory engines cannot be cold.
+func (e *Engine) ColdStart() {
+	if e.pool != nil {
+		e.pool.InvalidateAll()
+	}
+}
+
+// Exec runs a plan to completion, charging all work and I/O to the
+// machine, and returns the materialized result with execution statistics.
+func (e *Engine) Exec(p plan.Node) (*Result, ExecStats) {
+	c := e.mach.CPUModel()
+	c.SetParallelism(e.prof.Parallelism)
+	defer c.SetParallelism(1)
+
+	start := c.Clock().Now()
+	var poolBefore storage.PoolStats
+	if e.pool != nil {
+		poolBefore = e.pool.Stats()
+	}
+
+	// Statement overhead: parse, optimize, round trip.
+	c.Run(e.prof.QueryOverheadCycles, cpu.Compute)
+
+	ctx := &exec.Ctx{CPU: c, Pool: e.pool, Cost: e.prof.Cost, Amplify: e.prof.Amplification()}
+	if e.prof.BGIOProbPerPage > 0 && !e.prof.MemoryEngine {
+		// Amplified page counts mean amplified background traffic.
+		prob := e.prof.BGIOProbPerPage * e.prof.Amplification()
+		ctx.PageHook = func() {
+			if e.rng.Float64() < prob {
+				e.mach.BlockingRead(e.prof.BGIOBytes, disk.Random)
+			}
+		}
+	}
+
+	op := exec.Compile(p)
+	res := &Result{Schema: op.Schema()}
+	var bytesOut int64
+	op.Run(ctx, func(row expr.Row) {
+		res.Rows = append(res.Rows, row)
+		bytesOut += row.Bytes()
+	})
+
+	// Result path: server-side materialization/wire cost, then the client
+	// (hosted on the same machine, as the paper's JDBC client was)
+	// receives the rows, paying collector pressure that grows with the
+	// materialized result size.
+	n := float64(len(res.Rows))
+	ctx.Charge(cpu.Stream, e.prof.Cost.ResultRowCycles*n)
+	ctx.Charge(cpu.Stream, e.prof.Cost.ResultKBCycles*float64(bytesOut)/1024)
+	gc := e.prof.Cost.ClientRowFactor(n * e.prof.Amplification())
+	ctx.Charge(cpu.MemStall, e.prof.Cost.ClientRowCycles*n*gc)
+	ctx.Flush()
+
+	st := ExecStats{
+		Duration: c.Clock().Now().Sub(start),
+		RowsOut:  int64(len(res.Rows)),
+		BytesOut: bytesOut,
+	}
+	if e.pool != nil {
+		after := e.pool.Stats()
+		st.PoolHits = after.Hits - poolBefore.Hits
+		st.PoolMisses = after.Misses - poolBefore.Misses
+	}
+	return res, st
+}
+
+// MustTable is a convenience lookup used by workload builders.
+func (e *Engine) MustTable(name string) *catalog.Table { return e.cat.MustTable(name) }
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("%s [%d tables, %.1f MB]", e.prof.Name, len(e.cat.Names()),
+		float64(e.cat.TotalBytes())/(1<<20))
+}

@@ -1,0 +1,121 @@
+// Package exec executes logical plans over real rows while charging every
+// operation's estimated CPU cycles and I/O to the simulated machine. The
+// result is a query processor whose answers are computed for real but whose
+// time and energy come from the hardware models — which is what lets PVC
+// settings change a workload's joules without changing its answers.
+package exec
+
+import (
+	"ecodb/internal/expr"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/storage"
+)
+
+// CostModel holds the per-operation cycle constants of one engine profile.
+// Two presets (in package engine) model the paper's commercial DBMS and
+// MySQL's MEMORY engine; the split between Compute and MemStall cycles is
+// what makes one workload CPU-bound and the other memory-punctuated.
+type CostModel struct {
+	// Scan: per-tuple interpretation cost and per-page streaming cost.
+	ScanTupleCycles       float64 // compute, per row
+	ScanTupleStallCycles  float64 // memstall, per row
+	PageStreamCyclesPerKB float64 // stream, per KB of page data
+
+	// Hash join.
+	BuildCycles      float64 // compute, per build row
+	BuildStallCycles float64 // memstall, per build row (hash table writes)
+	ProbeCycles      float64 // compute, per probe row
+	ProbeStallCycles float64 // memstall, per probe row (bucket chases)
+	MatchCycles      float64 // compute, per emitted match
+
+	// Aggregation.
+	AggCycles      float64 // compute, per input row
+	AggStallCycles float64 // memstall, per input row
+
+	// Sort.
+	SortCmpCycles float64 // compute, per comparison (n·log₂n of them)
+
+	// Result path: server-side materialization/wire cost (bandwidth-bound
+	// Stream work) and client-side receive cost. The client (a JDBC
+	// application in the paper, running on the SUT) builds an object per
+	// row — pointer-chasing, cache-missing work charged as MemStall.
+	ResultRowCycles float64 // stream, per result row, server side
+	ResultKBCycles  float64 // stream, per KB of result, server side
+	ClientRowCycles float64 // memstall, per result row, client side
+	// ClientGCPerMRow models collector pressure in the client runtime:
+	// the per-row receive cost is multiplied by
+	// 1 + ClientGCPerMRow · min(resultRows, ClientGCSaturationRows)/1e6.
+	// Large materialized results (QED's merged batches) pay heavily;
+	// ordinary result sets barely notice.
+	ClientGCPerMRow        float64
+	ClientGCSaturationRows float64
+	ExprCycleMultiple      float64 // scales expr-tree costs (interpreter weight)
+}
+
+// ClientRowFactor returns the GC-pressure multiplier for a result of
+// equivRows rows.
+func (c CostModel) ClientRowFactor(equivRows float64) float64 {
+	if c.ClientGCPerMRow <= 0 {
+		return 1
+	}
+	r := equivRows
+	if c.ClientGCSaturationRows > 0 && r > c.ClientGCSaturationRows {
+		r = c.ClientGCSaturationRows
+	}
+	return 1 + c.ClientGCPerMRow*r/1e6
+}
+
+// Ctx is the execution context shared by all operators of one query: the
+// CPU that charges work, the optional buffer pool, cost constants, and
+// per-kind cycle accumulators flushed at page granularity (so the power
+// trace stays compact while totals remain exact).
+type Ctx struct {
+	CPU  *cpu.CPU
+	Pool *storage.BufferPool // nil for an all-in-memory engine
+	Cost CostModel
+
+	// Amplify scales all charged cycles (default 1 when zero). Running a
+	// scale-factor-s dataset with Amplify=1/s emulates the full-scale
+	// workload's absolute runtimes: each generated row stands for 1/s
+	// rows of the paper's dataset.
+	Amplify float64
+
+	// PageHook, if set, runs once per scanned page — the engine uses it
+	// to inject the background disk traffic the paper observed on the
+	// commercial system even with a warm cache.
+	PageHook func()
+
+	acc [3]float64 // indexed by cpu.WorkKind
+}
+
+func (c *Ctx) amp() float64 {
+	if c.Amplify <= 0 {
+		return 1
+	}
+	return c.Amplify
+}
+
+// Charge accumulates cycles of the given kind.
+func (c *Ctx) Charge(kind cpu.WorkKind, cycles float64) {
+	c.acc[kind] += cycles * c.amp()
+}
+
+// ChargeExpr drains an expression cost meter into compute work, scaled by
+// the profile's interpreter weight.
+func (c *Ctx) ChargeExpr(m *expr.Cost) {
+	mult := c.Cost.ExprCycleMultiple
+	if mult == 0 {
+		mult = 1
+	}
+	c.acc[cpu.Compute] += m.Drain() * mult * c.amp()
+}
+
+// Flush runs all accumulated work on the CPU, in kind order.
+func (c *Ctx) Flush() {
+	for kind, cycles := range c.acc {
+		if cycles > 0 {
+			c.CPU.Run(cycles, cpu.WorkKind(kind))
+			c.acc[kind] = 0
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"testing"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/plan"
+	"ecodb/internal/sim"
+	"ecodb/internal/storage"
+)
+
+// testCtx returns a context on a fresh CPU with unit costs.
+func testCtx() (*Ctx, *sim.Clock) {
+	clock := sim.NewClock()
+	c := cpu.New(cpu.E8500(), clock)
+	return &Ctx{
+		CPU: c,
+		Cost: CostModel{
+			ScanTupleCycles:       10,
+			ScanTupleStallCycles:  5,
+			PageStreamCyclesPerKB: 1,
+			BuildCycles:           10,
+			BuildStallCycles:      5,
+			ProbeCycles:           10,
+			ProbeStallCycles:      5,
+			MatchCycles:           5,
+			AggCycles:             10,
+			AggStallCycles:        5,
+			SortCmpCycles:         3,
+			ResultRowCycles:       5,
+			ClientRowCycles:       5,
+		},
+	}, clock
+}
+
+func numbersTable(t *testing.T, name string, n int) *catalog.Table {
+	t.Helper()
+	tb := catalog.NewTable(name, catalog.NewSchema(
+		catalog.Column{Name: "k", Kind: expr.KindInt},
+		catalog.Column{Name: "v", Kind: expr.KindInt},
+	))
+	for i := 0; i < n; i++ {
+		tb.Insert(expr.Row{expr.Int(int64(i)), expr.Int(int64(i * 10))})
+	}
+	return tb
+}
+
+func collect(t *testing.T, op Operator, ctx *Ctx) []expr.Row {
+	t.Helper()
+	var rows []expr.Row
+	op.Run(ctx, func(r expr.Row) { rows = append(rows, r) })
+	return rows
+}
+
+func TestScanAllRows(t *testing.T) {
+	ctx, clock := testCtx()
+	tb := numbersTable(t, "t", 100)
+	op := Compile(plan.NewScan(tb, nil))
+	rows := collect(t, op, ctx)
+	if len(rows) != 100 {
+		t.Fatalf("scanned %d rows", len(rows))
+	}
+	if clock.Now() == 0 {
+		t.Fatal("scan charged no time")
+	}
+}
+
+func TestScanWithFilter(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 100)
+	pred := expr.Cmp{Op: expr.LT, L: tb.Schema.Col("k"), R: expr.Const{V: expr.Int(10)}}
+	rows := collect(t, Compile(plan.NewScan(tb, pred)), ctx)
+	if len(rows) != 10 {
+		t.Fatalf("filtered scan returned %d rows, want 10", len(rows))
+	}
+}
+
+func TestScanChargesPoolAccesses(t *testing.T) {
+	ctx, clock := testCtx()
+	tb := numbersTable(t, "t", 500)
+	pool := storage.NewBufferPool(1<<20, readerFunc(func(n int64, seq bool) {
+		clock.Advance(sim.Millisecond)
+	}))
+	ctx.Pool = pool
+	collect(t, Compile(plan.NewScan(tb, nil)), ctx)
+	if pool.Stats().Misses != int64(tb.Heap.NumPages()) {
+		t.Fatalf("pool misses %d, want one per page %d", pool.Stats().Misses, tb.Heap.NumPages())
+	}
+}
+
+type readerFunc func(int64, bool)
+
+func (f readerFunc) BlockingRead(n int64, sequential bool) { f(n, sequential) }
+
+func TestPageHookRunsPerPage(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 500)
+	var hooks int
+	ctx.PageHook = func() { hooks++ }
+	collect(t, Compile(plan.NewScan(tb, nil)), ctx)
+	if hooks != tb.Heap.NumPages() {
+		t.Fatalf("hooks = %d, want %d", hooks, tb.Heap.NumPages())
+	}
+}
+
+func TestFilterOperator(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 20)
+	p := plan.NewFilter(plan.NewScan(tb, nil),
+		expr.Cmp{Op: expr.GE, L: tb.Schema.Col("k"), R: expr.Const{V: expr.Int(15)}})
+	rows := collect(t, Compile(p), ctx)
+	if len(rows) != 5 {
+		t.Fatalf("filter returned %d rows", len(rows))
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	ctx, _ := testCtx()
+	left := numbersTable(t, "l", 10)  // k: 0..9
+	right := numbersTable(t, "r", 20) // k: 0..19
+	j := plan.NewHashJoin(
+		plan.NewScan(left, nil), plan.NewScan(right, nil),
+		left.Schema.MustIndex("k"), right.Schema.MustIndex("k"), nil)
+	rows := collect(t, Compile(j), ctx)
+	if len(rows) != 10 {
+		t.Fatalf("join produced %d rows, want 10", len(rows))
+	}
+	// Output is buildRow ++ probeRow: 4 columns.
+	if len(rows[0]) != 4 {
+		t.Fatalf("join row width %d, want 4", len(rows[0]))
+	}
+	for _, r := range rows {
+		if r[0].I != r[2].I {
+			t.Fatalf("join keys differ: %v", r)
+		}
+	}
+}
+
+func TestHashJoinDuplicateBuildKeys(t *testing.T) {
+	ctx, _ := testCtx()
+	dup := catalog.NewTable("d", catalog.NewSchema(
+		catalog.Column{Name: "k", Kind: expr.KindInt}))
+	dup.Insert(expr.Row{expr.Int(1)})
+	dup.Insert(expr.Row{expr.Int(1)})
+	probe := numbersTable(t, "p", 3)
+	j := plan.NewHashJoin(plan.NewScan(dup, nil), plan.NewScan(probe, nil),
+		0, probe.Schema.MustIndex("k"), nil)
+	rows := collect(t, Compile(j), ctx)
+	if len(rows) != 2 {
+		t.Fatalf("1:N join produced %d rows, want 2", len(rows))
+	}
+}
+
+func TestHashJoinResidual(t *testing.T) {
+	ctx, _ := testCtx()
+	left := numbersTable(t, "l", 10)
+	right := numbersTable(t, "r", 10)
+	j := plan.NewHashJoin(
+		plan.NewScan(left, nil), plan.NewScan(right, nil),
+		left.Schema.MustIndex("k"), right.Schema.MustIndex("k"), nil)
+	// Residual on the concatenated row: keep only k < 3.
+	j.Residual = expr.Cmp{Op: expr.LT, L: expr.Col{Idx: 0}, R: expr.Const{V: expr.Int(3)}}
+	rows := collect(t, Compile(j), ctx)
+	if len(rows) != 3 {
+		t.Fatalf("residual join produced %d rows, want 3", len(rows))
+	}
+}
+
+func TestProject(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 5)
+	p := plan.NewProject(plan.NewScan(tb, nil),
+		[]expr.Expr{expr.Arith{Op: expr.Add, L: tb.Schema.Col("k"), R: expr.Const{V: expr.Int(100)}}},
+		[]string{"k100"}, []expr.Kind{expr.KindFloat})
+	rows := collect(t, Compile(p), ctx)
+	if len(rows) != 5 || rows[2][0].AsFloat() != 102 {
+		t.Fatalf("project rows = %v", rows)
+	}
+}
+
+func TestHashAggSumCountMinMaxAvg(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := catalog.NewTable("g", catalog.NewSchema(
+		catalog.Column{Name: "grp", Kind: expr.KindString},
+		catalog.Column{Name: "x", Kind: expr.KindFloat},
+	))
+	for i, g := range []string{"a", "b", "a", "a", "b"} {
+		tb.Insert(expr.Row{expr.String(g), expr.Float(float64(i + 1))})
+	}
+	// a: 1,3,4; b: 2,5.
+	col := tb.Schema.Col("x")
+	a := plan.NewAgg(plan.NewScan(tb, nil), []int{0}, []plan.AggSpec{
+		{Func: plan.Sum, Arg: col, Name: "s"},
+		{Func: plan.Count, Name: "c"},
+		{Func: plan.Min, Arg: col, Name: "mn"},
+		{Func: plan.Max, Arg: col, Name: "mx"},
+		{Func: plan.Avg, Arg: col, Name: "av"},
+	})
+	rows := collect(t, Compile(a), ctx)
+	if len(rows) != 2 {
+		t.Fatalf("agg produced %d groups", len(rows))
+	}
+	byGroup := map[string]expr.Row{}
+	for _, r := range rows {
+		byGroup[r[0].S] = r
+	}
+	ra := byGroup["a"]
+	if ra[1].F != 8 || ra[2].I != 3 || ra[3].F != 1 || ra[4].F != 4 || ra[5].F != 8.0/3 {
+		t.Fatalf("group a aggregates wrong: %v", ra)
+	}
+	rb := byGroup["b"]
+	if rb[1].F != 7 || rb[2].I != 2 {
+		t.Fatalf("group b aggregates wrong: %v", rb)
+	}
+}
+
+func TestAggEmptyInput(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 0)
+	a := plan.NewAgg(plan.NewScan(tb, nil), []int{0},
+		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
+	rows := collect(t, Compile(a), ctx)
+	if len(rows) != 0 {
+		t.Fatalf("empty-input agg produced %d rows", len(rows))
+	}
+}
+
+func TestSortAscDesc(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := catalog.NewTable("s", catalog.NewSchema(
+		catalog.Column{Name: "x", Kind: expr.KindInt}))
+	for _, v := range []int64{3, 1, 4, 1, 5} {
+		tb.Insert(expr.Row{expr.Int(v)})
+	}
+	asc := collect(t, Compile(plan.NewSort(plan.NewScan(tb, nil), plan.SortKey{Col: 0})), ctx)
+	for i := 1; i < len(asc); i++ {
+		if asc[i][0].I < asc[i-1][0].I {
+			t.Fatalf("not ascending: %v", asc)
+		}
+	}
+	desc := collect(t, Compile(plan.NewSort(plan.NewScan(tb, nil), plan.SortKey{Col: 0, Desc: true})), ctx)
+	for i := 1; i < len(desc); i++ {
+		if desc[i][0].I > desc[i-1][0].I {
+			t.Fatalf("not descending: %v", desc)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 50)
+	rows := collect(t, Compile(plan.NewLimit(plan.NewScan(tb, nil), 7)), ctx)
+	if len(rows) != 7 {
+		t.Fatalf("limit emitted %d rows", len(rows))
+	}
+}
+
+func TestAmplificationScalesTime(t *testing.T) {
+	tb := numbersTable(t, "t", 200)
+	run := func(amp float64) sim.Duration {
+		ctx, clock := testCtx()
+		ctx.Amplify = amp
+		collect(t, Compile(plan.NewScan(tb, nil)), ctx)
+		return clock.Now().Sub(0)
+	}
+	t1, t10 := run(1), run(10)
+	ratio := t10.Seconds() / t1.Seconds()
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Fatalf("amplification ×10 scaled time by %v", ratio)
+	}
+}
+
+func TestFlushDrainsAccumulators(t *testing.T) {
+	ctx, clock := testCtx()
+	ctx.Charge(cpu.Compute, 1e6)
+	before := clock.Now()
+	ctx.Flush()
+	if clock.Now() == before {
+		t.Fatal("flush did not run charged work")
+	}
+	ctx.Flush() // second flush is a no-op
+	if clock.Now() != clock.Now() {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestCompileUnknownNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown node did not panic")
+		}
+	}()
+	Compile(nil)
+}

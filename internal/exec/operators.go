@@ -1,0 +1,344 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/plan"
+	"ecodb/internal/storage"
+)
+
+// Operator is a compiled physical operator. Run pushes output rows into
+// emit; operators charge their work to the context as they go.
+type Operator interface {
+	Schema() *catalog.Schema
+	Run(ctx *Ctx, emit func(expr.Row))
+}
+
+// Compile lowers a logical plan to physical operators. Unknown node types
+// panic: the operator set is closed.
+func Compile(n plan.Node) Operator {
+	switch n := n.(type) {
+	case *plan.Scan:
+		return &scanOp{table: n.Table, filter: n.Filter}
+	case *plan.Filter:
+		return &filterOp{input: Compile(n.Input), pred: n.Pred}
+	case *plan.HashJoin:
+		return &hashJoinOp{
+			build: Compile(n.Build), probe: Compile(n.Probe),
+			buildKey: n.BuildKey, probeKey: n.ProbeKey,
+			residual: n.Residual, schema: n.Schema(),
+		}
+	case *plan.Project:
+		return &projectOp{input: Compile(n.Input), exprs: n.Exprs, schema: n.Schema()}
+	case *plan.Agg:
+		return &aggOp{input: Compile(n.Input), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
+	case *plan.Sort:
+		return &sortOp{input: Compile(n.Input), keys: n.Keys}
+	case *plan.Limit:
+		return &limitOp{input: Compile(n.Input), n: n.N}
+	default:
+		panic(fmt.Sprintf("exec: cannot compile %T", n))
+	}
+}
+
+// scanOp reads a heap page by page, touching the buffer pool (misses become
+// simulated disk reads), charging stream work for page bytes and per-tuple
+// interpretation costs, and applying its filter.
+type scanOp struct {
+	table  *catalog.Table
+	filter expr.Expr
+}
+
+func (s *scanOp) Schema() *catalog.Schema { return s.table.Schema }
+
+func (s *scanOp) Run(ctx *Ctx, emit func(expr.Row)) {
+	heap := s.table.Heap
+	var meter expr.Cost
+	for i := 0; i < heap.NumPages(); i++ {
+		page := heap.Page(i)
+		if ctx.Pool != nil {
+			ctx.Pool.Access(storage.PageID{Table: s.table.Name, Index: i}, page.Bytes)
+		}
+		if ctx.PageHook != nil {
+			ctx.PageHook()
+		}
+		ctx.Charge(cpu.Stream, ctx.Cost.PageStreamCyclesPerKB*float64(page.Bytes)/1024)
+		nRows := float64(len(page.Rows))
+		ctx.Charge(cpu.Compute, ctx.Cost.ScanTupleCycles*nRows)
+		ctx.Charge(cpu.MemStall, ctx.Cost.ScanTupleStallCycles*nRows)
+		for _, row := range page.Rows {
+			if s.filter != nil && !s.filter.Eval(row, &meter).Truthy() {
+				continue
+			}
+			emit(row)
+		}
+		ctx.ChargeExpr(&meter)
+		ctx.Flush()
+	}
+}
+
+// filterOp drops rows failing the predicate.
+type filterOp struct {
+	input Operator
+	pred  expr.Expr
+}
+
+func (f *filterOp) Schema() *catalog.Schema { return f.input.Schema() }
+
+func (f *filterOp) Run(ctx *Ctx, emit func(expr.Row)) {
+	var meter expr.Cost
+	f.input.Run(ctx, func(row expr.Row) {
+		ok := f.pred.Eval(row, &meter).Truthy()
+		ctx.ChargeExpr(&meter)
+		if ok {
+			emit(row)
+		}
+	})
+}
+
+// hashJoinOp materializes the build side into a hash table keyed on a
+// single column, then streams the probe side. Output rows are
+// buildRow ++ probeRow; an optional residual predicate filters matches.
+type hashJoinOp struct {
+	build, probe       Operator
+	buildKey, probeKey int
+	residual           expr.Expr
+	schema             *catalog.Schema
+}
+
+func (j *hashJoinOp) Schema() *catalog.Schema { return j.schema }
+
+func (j *hashJoinOp) Run(ctx *Ctx, emit func(expr.Row)) {
+	// Build phase.
+	table := make(map[expr.Value][]expr.Row)
+	j.build.Run(ctx, func(row expr.Row) {
+		k := row[j.buildKey]
+		table[k] = append(table[k], row)
+		ctx.Charge(cpu.Compute, ctx.Cost.BuildCycles)
+		ctx.Charge(cpu.MemStall, ctx.Cost.BuildStallCycles)
+	})
+	ctx.Flush()
+
+	// Probe phase.
+	var meter expr.Cost
+	buildWidth := j.build.Schema().NumCols()
+	probeWidth := j.probe.Schema().NumCols()
+	j.probe.Run(ctx, func(row expr.Row) {
+		ctx.Charge(cpu.Compute, ctx.Cost.ProbeCycles)
+		ctx.Charge(cpu.MemStall, ctx.Cost.ProbeStallCycles)
+		matches, ok := table[row[j.probeKey]]
+		if !ok {
+			return
+		}
+		for _, b := range matches {
+			out := make(expr.Row, 0, buildWidth+probeWidth)
+			out = append(out, b...)
+			out = append(out, row...)
+			ctx.Charge(cpu.Compute, ctx.Cost.MatchCycles)
+			if j.residual != nil {
+				keep := j.residual.Eval(out, &meter).Truthy()
+				ctx.ChargeExpr(&meter)
+				if !keep {
+					continue
+				}
+			}
+			emit(out)
+		}
+	})
+}
+
+// projectOp computes output expressions per row.
+type projectOp struct {
+	input  Operator
+	exprs  []expr.Expr
+	schema *catalog.Schema
+}
+
+func (p *projectOp) Schema() *catalog.Schema { return p.schema }
+
+func (p *projectOp) Run(ctx *Ctx, emit func(expr.Row)) {
+	var meter expr.Cost
+	p.input.Run(ctx, func(row expr.Row) {
+		out := make(expr.Row, len(p.exprs))
+		for i, e := range p.exprs {
+			out[i] = e.Eval(row, &meter)
+		}
+		ctx.ChargeExpr(&meter)
+		emit(out)
+	})
+}
+
+// aggState accumulates one group.
+type aggState struct {
+	groupVals expr.Row
+	sums      []float64
+	counts    []int64
+	mins      []expr.Value
+	maxs      []expr.Value
+	seen      []bool
+}
+
+// aggOp is a hash aggregation over single- or multi-column groups.
+type aggOp struct {
+	input   Operator
+	groupBy []int
+	aggs    []plan.AggSpec
+	schema  *catalog.Schema
+}
+
+func (a *aggOp) Schema() *catalog.Schema { return a.schema }
+
+func (a *aggOp) Run(ctx *Ctx, emit func(expr.Row)) {
+	groups := make(map[string]*aggState)
+	order := make([]string, 0, 16) // deterministic emission order (first seen)
+	var meter expr.Cost
+	var keyBuf strings.Builder
+
+	a.input.Run(ctx, func(row expr.Row) {
+		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles)
+		ctx.Charge(cpu.MemStall, ctx.Cost.AggStallCycles)
+
+		keyBuf.Reset()
+		for _, g := range a.groupBy {
+			keyBuf.WriteString(row[g].String())
+			keyBuf.WriteByte('\x00')
+		}
+		key := keyBuf.String()
+		st, ok := groups[key]
+		if !ok {
+			st = &aggState{
+				sums:   make([]float64, len(a.aggs)),
+				counts: make([]int64, len(a.aggs)),
+				mins:   make([]expr.Value, len(a.aggs)),
+				maxs:   make([]expr.Value, len(a.aggs)),
+				seen:   make([]bool, len(a.aggs)),
+			}
+			st.groupVals = make(expr.Row, len(a.groupBy))
+			for i, g := range a.groupBy {
+				st.groupVals[i] = row[g]
+			}
+			groups[key] = st
+			order = append(order, key)
+		}
+		for i, spec := range a.aggs {
+			if spec.Func == plan.Count {
+				st.counts[i]++
+				continue
+			}
+			v := spec.Arg.Eval(row, &meter)
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			st.sums[i] += v.AsFloat()
+			if !st.seen[i] {
+				st.mins[i], st.maxs[i], st.seen[i] = v, v, true
+			} else {
+				if expr.Compare(v, st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+				if expr.Compare(v, st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+			}
+		}
+		ctx.ChargeExpr(&meter)
+	})
+
+	for _, key := range order {
+		st := groups[key]
+		out := make(expr.Row, 0, len(a.groupBy)+len(a.aggs))
+		out = append(out, st.groupVals...)
+		for i, spec := range a.aggs {
+			switch spec.Func {
+			case plan.Sum:
+				out = append(out, expr.Float(st.sums[i]))
+			case plan.Count:
+				out = append(out, expr.Int(st.counts[i]))
+			case plan.Min:
+				out = append(out, minOrNull(st.seen[i], st.mins[i]))
+			case plan.Max:
+				out = append(out, minOrNull(st.seen[i], st.maxs[i]))
+			case plan.Avg:
+				if st.counts[i] == 0 {
+					out = append(out, expr.Null())
+				} else {
+					out = append(out, expr.Float(st.sums[i]/float64(st.counts[i])))
+				}
+			default:
+				panic(fmt.Sprintf("exec: unknown aggregate %v", spec.Func))
+			}
+		}
+		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles)
+		emit(out)
+	}
+	ctx.Flush()
+}
+
+func minOrNull(seen bool, v expr.Value) expr.Value {
+	if !seen {
+		return expr.Null()
+	}
+	return v
+}
+
+// sortOp materializes its input and sorts it, charging n·log₂n compares.
+type sortOp struct {
+	input Operator
+	keys  []plan.SortKey
+}
+
+func (s *sortOp) Schema() *catalog.Schema { return s.input.Schema() }
+
+func (s *sortOp) Run(ctx *Ctx, emit func(expr.Row)) {
+	var rows []expr.Row
+	s.input.Run(ctx, func(row expr.Row) { rows = append(rows, row) })
+
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range s.keys {
+			c := expr.Compare(rows[i][k.Col], rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if n := float64(len(rows)); n > 1 {
+		ctx.Charge(cpu.Compute, ctx.Cost.SortCmpCycles*n*math.Log2(n))
+		ctx.Charge(cpu.MemStall, 0.25*ctx.Cost.SortCmpCycles*n*math.Log2(n))
+	}
+	ctx.Flush()
+	for _, r := range rows {
+		emit(r)
+	}
+}
+
+// limitOp emits the first n rows. The input still runs to completion
+// (there are no indices to stop early with), matching the engines under
+// study.
+type limitOp struct {
+	input Operator
+	n     int
+}
+
+func (l *limitOp) Schema() *catalog.Schema { return l.input.Schema() }
+
+func (l *limitOp) Run(ctx *Ctx, emit func(expr.Row)) {
+	emitted := 0
+	l.input.Run(ctx, func(row expr.Row) {
+		if emitted < l.n {
+			emitted++
+			emit(row)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ecodb/internal/core"
+)
+
+// Figure1Result is the commercial-DBMS operating-point plot: absolute CPU
+// joules versus workload response time at stock and the three medium-
+// downgrade underclock settings (A, B, C in the paper's Figure 1).
+type Figure1Result struct {
+	Config       Config
+	Measurements []core.Measurement
+}
+
+// Figure1 reproduces the paper's Figure 1: TPC-H Q5 ×10 on the commercial
+// DBMS, stock vs 5/10/15% underclocking with the medium voltage downgrade.
+func Figure1(cfg Config) Figure1Result {
+	sys, queries := newCommercialSystem(cfg)
+	pvc := core.NewPVC(sys)
+	return Figure1Result{
+		Config:       cfg,
+		Measurements: pvc.Sweep(core.MediumSettings(), queries),
+	}
+}
+
+// Comparisons returns the paper-vs-measured key numbers: the stock
+// operating point and setting A's savings.
+func (r Figure1Result) Comparisons() []Comparison {
+	if len(r.Measurements) < 2 {
+		return nil
+	}
+	stock, a := r.Measurements[0], r.Measurements[1]
+	rel := core.Relative(r.Measurements)
+	return []Comparison{
+		{Metric: "stock response time", Paper: 48.5, Measured: stock.Time.Seconds(), Unit: "s"},
+		{Metric: "stock CPU energy", Paper: 1228.7, Measured: float64(stock.CPUEnergy), Unit: "J"},
+		{Metric: "setting A (5%/medium) energy saving", Paper: 49, Measured: -100 * (rel[1].EnergyRatio - 1), Unit: "%"},
+		{Metric: "setting A response-time penalty", Paper: 3, Measured: 100 * (rel[1].TimeRatio - 1), Unit: "%"},
+		{Metric: "setting A response time", Paper: 50.0, Measured: a.Time.Seconds(), Unit: "s"},
+	}
+}
+
+func (r Figure1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: TPC-H Q5 on the commercial DBMS (%s)\n", r.Config)
+	fmt.Fprintf(&b, "  %-18s %12s %14s %14s %12s\n",
+		"setting", "time", "CPU energy", "system (wall)", "disk")
+	for _, m := range r.Measurements {
+		fmt.Fprintf(&b, "  %-18s %12v %14v %14v %12v\n",
+			m.Setting, m.Time, m.CPUEnergy, m.WallEnergy, m.DiskEnergy)
+	}
+	b.WriteString("\n  Dominance check (paper: B and C are worse than A on both axes):\n")
+	if len(r.Measurements) == 4 {
+		a, bb, c := r.Measurements[1], r.Measurements[2], r.Measurements[3]
+		fmt.Fprintf(&b, "    B vs A: time %+.1f%%, energy %+.1f%%\n",
+			100*(float64(bb.Time)/float64(a.Time)-1), 100*(float64(bb.CPUEnergy)/float64(a.CPUEnergy)-1))
+		fmt.Fprintf(&b, "    C vs A: time %+.1f%%, energy %+.1f%%\n",
+			100*(float64(c.Time)/float64(a.Time)-1), 100*(float64(c.CPUEnergy)/float64(a.CPUEnergy)-1))
+	}
+	b.WriteString("\nPaper vs measured:\n")
+	renderComparisons(&b, r.Comparisons())
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ecodb/internal/core"
+	"ecodb/internal/energy"
+)
+
+// PaperEDPFig2 holds the paper's §3.3 EDP changes (percent) for the
+// commercial DBMS at 5/10/15% underclocking.
+var PaperEDPFig2 = map[string][3]float64{
+	"small":  {-30, -22, -15},
+	"medium": {-47, -38, -23},
+}
+
+// FigureRatioResult is a stock-relative ratio sweep (the form of the
+// paper's Figures 2 and 3): energy ratio on one axis, time ratio on the
+// other, with the iso-EDP curve for reference.
+type FigureRatioResult struct {
+	Name     string
+	Config   Config
+	Points   []core.Point
+	PaperEDP map[string][3]float64
+	IsoEDP   [][2]float64
+}
+
+// Figure2 reproduces the paper's Figure 2: the commercial DBMS under both
+// voltage downgrades, plotted as ratios to stock with the constant-EDP
+// curve separating "interesting" points.
+func Figure2(cfg Config) FigureRatioResult {
+	sys, queries := newCommercialSystem(cfg)
+	pvc := core.NewPVC(sys)
+	ms := pvc.Sweep(core.PaperSettings(), queries)
+	return FigureRatioResult{
+		Name:     "Figure 2: TPC-H Q5 on the commercial DBMS (ratios to stock)",
+		Config:   cfg,
+		Points:   core.Relative(ms),
+		PaperEDP: PaperEDPFig2,
+		IsoEDP:   energy.IsoEDPCurve(0.4, 1.0, 13),
+	}
+}
+
+// Comparisons returns paper-vs-measured EDP changes for every non-stock
+// point.
+func (r FigureRatioResult) Comparisons() []Comparison {
+	var out []Comparison
+	for _, pt := range r.Points {
+		if pt.Setting.IsStock() {
+			continue
+		}
+		dg := pt.Setting.Downgrade.String()
+		ucIdx := map[float64]int{0.05: 0, 0.10: 1, 0.15: 2}
+		idx, ok := ucIdx[pt.Setting.Underclock]
+		if !ok {
+			continue
+		}
+		paper := r.PaperEDP[dg][idx]
+		out = append(out, Comparison{
+			Metric:   fmt.Sprintf("EDP change, %s", pt.Setting),
+			Paper:    paper,
+			Measured: pt.EDPChange * 100,
+			Unit:     "%",
+		})
+	}
+	return out
+}
+
+func (r FigureRatioResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", r.Name, r.Config)
+	fmt.Fprintf(&b, "  %-18s %13s %11s %10s %14s\n",
+		"setting", "energy ratio", "time ratio", "EDP", "vs iso-EDP")
+	for _, pt := range r.Points {
+		side := "on curve"
+		iso := energy.IsoEDP(pt.EnergyRatio)
+		switch {
+		case pt.TimeRatio < iso-1e-9:
+			side = "below (good)"
+		case pt.TimeRatio > iso+1e-9:
+			side = "above"
+		}
+		fmt.Fprintf(&b, "  %-18s %13.3f %11.3f %+9.1f%% %14s\n",
+			pt.Setting, pt.EnergyRatio, pt.TimeRatio, pt.EDPChange*100, side)
+	}
+	b.WriteString("\nPaper vs measured (EDP change):\n")
+	renderComparisons(&b, r.Comparisons())
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"ecodb/internal/core"
+	"ecodb/internal/energy"
+)
+
+// PaperEDPFig3 holds the paper's §3.3 EDP changes (percent) for MySQL at
+// 5/10/15% underclocking.
+var PaperEDPFig3 = map[string][3]float64{
+	"small":  {-7, -0.4, +9},
+	"medium": {-16, -8, 0},
+}
+
+// Figure3 reproduces the paper's Figure 3: TPC-H Q5 on MySQL's MEMORY
+// engine (CPU-bound), both downgrades, as ratios to stock.
+func Figure3(cfg Config) FigureRatioResult {
+	sys, queries := newMySQLSystem(cfg)
+	pvc := core.NewPVC(sys)
+	ms := pvc.Sweep(core.PaperSettings(), queries)
+	return FigureRatioResult{
+		Name:     "Figure 3: TPC-H Q5 on MySQL MEMORY engine (ratios to stock)",
+		Config:   cfg,
+		Points:   core.Relative(ms),
+		PaperEDP: PaperEDPFig3,
+		IsoEDP:   energy.IsoEDPCurve(0.4, 1.0, 13),
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ecodb/internal/core"
+	"ecodb/internal/hw/cpu"
+)
+
+// Figure4Point pairs observed EDP with the theoretical V²/F model at one
+// operating point, both normalized to stock (the paper plots the two on
+// separate axes of the same chart and shows they track).
+type Figure4Point struct {
+	Setting        core.Setting
+	ObservedEDP    float64 // relative to stock
+	TheoreticalEDP float64 // V²/F relative to stock, from monitored V̄ and F̄
+}
+
+// Figure4Result is one panel ((a) small, (b) medium) of the paper's
+// Figure 4.
+type Figure4Result struct {
+	Config Config
+	Panels map[string][]Figure4Point
+}
+
+// Figure4 reproduces the paper's Figure 4: the observed EDP of the MySQL
+// workload against the theoretical EDP = V²/F computed from continuously
+// monitored voltage and frequency, for the small and medium downgrades.
+func Figure4(cfg Config) Figure4Result {
+	sys, queries := newMySQLSystem(cfg)
+	pvc := core.NewPVC(sys)
+
+	out := Figure4Result{Config: cfg, Panels: make(map[string][]Figure4Point)}
+	for _, d := range []cpu.Downgrade{cpu.DowngradeSmall, cpu.DowngradeMedium} {
+		settings := []core.Setting{core.Stock()}
+		for _, uc := range []float64{0.05, 0.10, 0.15} {
+			settings = append(settings, core.PVCSetting(uc, d))
+		}
+		ms := pvc.Sweep(settings, queries)
+		base := ms[0]
+		points := make([]Figure4Point, len(ms))
+		for i, m := range ms {
+			points[i] = Figure4Point{
+				Setting:        m.Setting,
+				ObservedEDP:    float64(m.EDP()) / float64(base.EDP()),
+				TheoreticalEDP: m.TheoreticalEDP() / base.TheoreticalEDP(),
+			}
+		}
+		out.Panels[d.String()] = points
+	}
+	return out
+}
+
+// MaxDivergence returns the largest relative gap between observed and
+// theoretical EDP across all points — the paper's claim is that the two
+// "closely match".
+func (r Figure4Result) MaxDivergence() float64 {
+	var worst float64
+	for _, pts := range r.Panels {
+		for _, p := range pts {
+			if p.TheoreticalEDP == 0 {
+				continue
+			}
+			d := math.Abs(p.ObservedEDP-p.TheoreticalEDP) / p.TheoreticalEDP
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func (r Figure4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: observed EDP vs theoretical EDP = V²/F, MySQL workload (%s)\n", r.Config)
+	for _, panel := range []string{"small", "medium"} {
+		fmt.Fprintf(&b, "  (%s voltage settings)\n", panel)
+		fmt.Fprintf(&b, "    %-18s %14s %16s %8s\n", "setting", "observed EDP", "theoretical EDP", "gap")
+		for _, p := range r.Panels[panel] {
+			gap := 0.0
+			if p.TheoreticalEDP != 0 {
+				gap = (p.ObservedEDP - p.TheoreticalEDP) / p.TheoreticalEDP
+			}
+			fmt.Fprintf(&b, "    %-18s %14.3f %16.3f %+7.1f%%\n",
+				p.Setting, p.ObservedEDP, p.TheoreticalEDP, gap*100)
+		}
+	}
+	fmt.Fprintf(&b, "  max observed/theory divergence: %.1f%% (paper: the model \"closely matches\")\n",
+		r.MaxDivergence()*100)
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ecodb/internal/hw/disk"
+	"ecodb/internal/meter"
+	"ecodb/internal/sim"
+)
+
+// Figure5Row is one (pattern, block size) cell of the disk study.
+type Figure5Row struct {
+	Pattern        disk.Pattern
+	BlockKB        int
+	ThroughputMBps float64
+	EnergyPerKBmJ  float64
+}
+
+// Figure5Result is the paper's disk access study: throughput and energy
+// per KB for sequential and random reads of 1.6 GB at several block sizes.
+type Figure5Result struct {
+	TotalMB int
+	Rows    []Figure5Row
+}
+
+// PaperFig5RandomRatios are the paper's approximate random-throughput
+// improvements over the 4 KB block size at 8/16/32 KB (§3.5: "1.88,
+// approximately 3.5 and 6 times").
+var PaperFig5RandomRatios = [3]float64{1.88, 3.5, 6.0}
+
+// Figure5 reproduces the paper's Figure 5: read 1.6 GB (400,000 4 KB pages
+// worth) from a 4 GB file sequentially and randomly with block sizes of 4,
+// 8, 16 and 32 KB, measuring data throughput and energy per KB on the
+// drive's two supply lines.
+func Figure5() Figure5Result {
+	const totalBytes = int64(400000) * 4 << 10 // 1.6 GB
+	res := Figure5Result{TotalMB: int(totalBytes >> 20)}
+
+	for _, pattern := range []disk.Pattern{disk.Sequential, disk.Random} {
+		for _, blockKB := range []int{4, 8, 16, 32} {
+			clock := sim.NewClock()
+			d := disk.New(disk.CaviarSE16(), clock)
+			block := int64(blockKB) << 10
+			calls := totalBytes / block
+
+			t0 := clock.Now()
+			for i := int64(0); i < calls; i++ {
+				clock.Advance(d.Read(block, pattern))
+			}
+			t1 := clock.Now()
+			dur := t1.Sub(t0).Seconds()
+			joules := meter.SumLines(t0, t1, d.Line5V(), d.Line12V())
+			res.Rows = append(res.Rows, Figure5Row{
+				Pattern:        pattern,
+				BlockKB:        blockKB,
+				ThroughputMBps: float64(totalBytes) / (1 << 20) / dur,
+				EnergyPerKBmJ:  1000 * float64(joules) / (float64(totalBytes) / 1024),
+			})
+		}
+	}
+	return res
+}
+
+// RandomRatios returns the measured random-throughput improvements over
+// the 4 KB block size, for 8/16/32 KB.
+func (r Figure5Result) RandomRatios() [3]float64 {
+	var base float64
+	var out [3]float64
+	i := 0
+	for _, row := range r.Rows {
+		if row.Pattern != disk.Random {
+			continue
+		}
+		if row.BlockKB == 4 {
+			base = row.ThroughputMBps
+			continue
+		}
+		if base > 0 && i < 3 {
+			out[i] = row.ThroughputMBps / base
+			i++
+		}
+	}
+	return out
+}
+
+// Comparisons returns paper-vs-measured random throughput ratios.
+func (r Figure5Result) Comparisons() []Comparison {
+	got := r.RandomRatios()
+	blocks := []int{8, 16, 32}
+	out := make([]Comparison, 3)
+	for i := range out {
+		out[i] = Comparison{
+			Metric:   fmt.Sprintf("random throughput ratio %dKB/4KB", blocks[i]),
+			Paper:    PaperFig5RandomRatios[i],
+			Measured: got[i],
+			Unit:     "x",
+		}
+	}
+	return out
+}
+
+func (r Figure5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: disk energy, reading %d MB from a 4 GB file\n", r.TotalMB)
+	fmt.Fprintf(&b, "  %-12s %8s %18s %16s\n", "pattern", "block", "throughput MB/s", "energy mJ/KB")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %6dKB %18.2f %16.3f\n",
+			row.Pattern, row.BlockKB, row.ThroughputMBps, row.EnergyPerKBmJ)
+	}
+	b.WriteString("\nPaper vs measured:\n")
+	renderComparisons(&b, r.Comparisons())
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+
+	"ecodb/internal/hw/system"
+)
+
+// Table1Paper holds the paper's published wall readings (watts) for each
+// build stage of its Table 1.
+var Table1Paper = []float64{9.2, 20.1, 49.7, 54.0, 55.7, 69.3}
+
+// Table1Result is the reproduced system power breakdown.
+type Table1Result struct {
+	Stages []system.BreakdownStage
+}
+
+// Table1 reproduces the paper's Table 1: wall power measured as components
+// are installed one at a time, with no disk or OS present.
+func Table1() Table1Result {
+	return Table1Result{Stages: system.PowerBreakdown()}
+}
+
+// Comparisons returns paper-vs-measured rows.
+func (r Table1Result) Comparisons() []Comparison {
+	out := make([]Comparison, len(r.Stages))
+	for i, s := range r.Stages {
+		paper := 0.0
+		if i < len(Table1Paper) {
+			paper = Table1Paper[i]
+		}
+		out[i] = Comparison{Metric: s.Label, Paper: paper, Measured: float64(s.WallW), Unit: "W"}
+	}
+	return out
+}
+
+func (r Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: System Power Breakdown (wall watts per build stage)\n")
+	b.WriteString(system.FormatBreakdown(r.Stages))
+	b.WriteString("\nPaper vs measured:\n")
+	renderComparisons(&b, r.Comparisons())
+	return b.String()
+}

@@ -1,0 +1,327 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Bool(true), KindBool},
+		{Int(42), KindInt},
+		{Float(3.14), KindFloat},
+		{String("x"), KindString},
+		{Date(100), KindDate},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("constructor produced kind %v, want %v", c.v.Kind, c.kind)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	v := MustParseDate("1994-01-01")
+	if got := v.DateString(); got != "1994-01-01" {
+		t.Fatalf("DateString = %q", got)
+	}
+	if MustParseDate("1970-01-01").I != 0 {
+		t.Fatal("epoch should be day 0")
+	}
+	if MustParseDate("1970-01-02").I != 1 {
+		t.Fatal("epoch+1 should be day 1")
+	}
+}
+
+func TestMustParseDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad date did not panic")
+		}
+	}()
+	MustParseDate("not-a-date")
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Null(), Int(1), -1},
+		{Int(1), Null(), 1},
+		{Null(), Null(), 0},
+		{Date(10), Date(20), -1},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIncomparablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("comparing string with int did not panic")
+		}
+	}()
+	Compare(String("a"), Int(1))
+}
+
+func TestTruthy(t *testing.T) {
+	if !Bool(true).Truthy() || Bool(false).Truthy() {
+		t.Fatal("Bool truthiness wrong")
+	}
+	if Null().Truthy() || Int(1).Truthy() {
+		t.Fatal("non-bool values must not be truthy")
+	}
+}
+
+func TestRowBytes(t *testing.T) {
+	r := Row{Int(1), String("hello"), Null()}
+	// 4 header + 8 + (5+2) + 1 = 20.
+	if got := r.Bytes(); got != 20 {
+		t.Fatalf("Row.Bytes = %d, want 20", got)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), Int(2)}
+	c := r.Clone()
+	c[0] = Int(99)
+	if r[0].I != 1 {
+		t.Fatal("Clone did not copy")
+	}
+}
+
+func testRow() Row {
+	return Row{Int(10), Float(2.5), String("ASIA"), Date(100)}
+}
+
+func TestColEval(t *testing.T) {
+	var cost Cost
+	v := Col{Idx: 2, Name: "r_name"}.Eval(testRow(), &cost)
+	if v.S != "ASIA" {
+		t.Fatalf("Col eval = %v", v)
+	}
+	if cost.Cycles != CyclesColRef {
+		t.Fatalf("cost = %v, want %v", cost.Cycles, CyclesColRef)
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	row := testRow()
+	col := Col{Idx: 0}
+	cases := []struct {
+		op   CmpOp
+		rhs  int64
+		want bool
+	}{
+		{EQ, 10, true}, {EQ, 11, false},
+		{NE, 11, true}, {NE, 10, false},
+		{LT, 11, true}, {LT, 10, false},
+		{LE, 10, true}, {LE, 9, false},
+		{GT, 9, true}, {GT, 10, false},
+		{GE, 10, true}, {GE, 11, false},
+	}
+	for _, c := range cases {
+		got := Cmp{Op: c.op, L: col, R: Const{V: Int(c.rhs)}}.Eval(row, nil)
+		if got.Truthy() != c.want {
+			t.Errorf("10 %v %d = %v, want %v", c.op, c.rhs, got.Truthy(), c.want)
+		}
+	}
+}
+
+func TestCmpNullIsFalse(t *testing.T) {
+	got := Cmp{Op: EQ, L: Const{V: Null()}, R: Const{V: Int(1)}}.Eval(nil, nil)
+	if got.Truthy() {
+		t.Fatal("NULL = 1 should be false")
+	}
+}
+
+func TestBetweenHalfOpen(t *testing.T) {
+	col := Col{Idx: 3}
+	b := Between{E: col, Lo: Date(100), Hi: Date(200)}
+	if !b.Eval(testRow(), nil).Truthy() {
+		t.Fatal("lower bound should be inclusive")
+	}
+	b2 := Between{E: col, Lo: Date(50), Hi: Date(100)}
+	if b2.Eval(testRow(), nil).Truthy() {
+		t.Fatal("upper bound should be exclusive")
+	}
+}
+
+func TestAndOrShortCircuitCost(t *testing.T) {
+	row := testRow()
+	tr := Cmp{Op: EQ, L: Col{Idx: 0}, R: Const{V: Int(10)}}
+	fa := Cmp{Op: EQ, L: Col{Idx: 0}, R: Const{V: Int(11)}}
+
+	var cheap, dear Cost
+	// Or stops at the first true term.
+	if !(Or{Terms: []Expr{tr, fa, fa}}).Eval(row, &cheap).Truthy() {
+		t.Fatal("or should be true")
+	}
+	if !(Or{Terms: []Expr{fa, fa, tr}}).Eval(row, &dear).Truthy() {
+		t.Fatal("or should be true")
+	}
+	if cheap.Cycles >= dear.Cycles {
+		t.Fatalf("short-circuit OR should cost less when the match is first: %v vs %v",
+			cheap.Cycles, dear.Cycles)
+	}
+
+	// And stops at the first false term.
+	var a1, a2 Cost
+	And{Terms: []Expr{fa, tr, tr}}.Eval(row, &a1)
+	And{Terms: []Expr{tr, tr, fa}}.Eval(row, &a2)
+	if a1.Cycles >= a2.Cycles {
+		t.Fatal("short-circuit AND should cost less when the false term is first")
+	}
+}
+
+// The QED-relevant property: evaluating an N-term OR over a non-matching
+// row costs Θ(N), while the hash-set variant is O(1).
+func TestOrChainLinearInTermsHashSetConstant(t *testing.T) {
+	row := Row{Int(999)}
+	col := Col{Idx: 0}
+	mkOr := func(n int) Or {
+		terms := make([]Expr, n)
+		for i := range terms {
+			terms[i] = Cmp{Op: EQ, L: col, R: Const{V: Int(int64(i))}}
+		}
+		return Or{Terms: terms}
+	}
+	var c10, c50 Cost
+	mkOr(10).Eval(row, &c10)
+	mkOr(50).Eval(row, &c50)
+	if ratio := c50.Cycles / c10.Cycles; ratio < 4.5 || ratio > 5.5 {
+		t.Fatalf("OR cost ratio 50/10 terms = %v, want ≈5", ratio)
+	}
+
+	mkIn := func(n int) *InHash {
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = Int(int64(i))
+		}
+		return NewInHash(col, vals)
+	}
+	var h10, h50 Cost
+	mkIn(10).Eval(row, &h10)
+	mkIn(50).Eval(row, &h50)
+	if h10.Cycles != h50.Cycles {
+		t.Fatalf("hash-set cost should not depend on set size: %v vs %v", h10.Cycles, h50.Cycles)
+	}
+}
+
+func TestInHashMembership(t *testing.T) {
+	in := NewInHash(Col{Idx: 0}, []Value{Int(1), Int(5), Int(9)})
+	if !in.Eval(Row{Int(5)}, nil).Truthy() {
+		t.Fatal("5 should be in the set")
+	}
+	if in.Eval(Row{Int(4)}, nil).Truthy() {
+		t.Fatal("4 should not be in the set")
+	}
+}
+
+func TestArith(t *testing.T) {
+	row := Row{Float(10), Float(4)}
+	cases := []struct {
+		op   ArithOp
+		want float64
+	}{
+		{Add, 14}, {Sub, 6}, {Mul, 40}, {Div, 2.5},
+	}
+	for _, c := range cases {
+		got := Arith{Op: c.op, L: Col{Idx: 0}, R: Col{Idx: 1}}.Eval(row, nil)
+		if got.F != c.want {
+			t.Errorf("10 %v 4 = %v, want %v", c.op, got.F, c.want)
+		}
+	}
+}
+
+func TestArithDivByZeroIsNull(t *testing.T) {
+	got := Arith{Op: Div, L: Const{V: Float(1)}, R: Const{V: Float(0)}}.Eval(nil, nil)
+	if !got.IsNull() {
+		t.Fatalf("1/0 = %v, want NULL", got)
+	}
+}
+
+func TestArithNullPropagates(t *testing.T) {
+	got := Arith{Op: Add, L: Const{V: Null()}, R: Const{V: Float(1)}}.Eval(nil, nil)
+	if !got.IsNull() {
+		t.Fatal("NULL + 1 should be NULL")
+	}
+}
+
+func TestNot(t *testing.T) {
+	if (Not{E: Const{V: Bool(true)}}).Eval(nil, nil).Truthy() {
+		t.Fatal("NOT true should be false")
+	}
+	if !(Not{E: Const{V: Bool(false)}}).Eval(nil, nil).Truthy() {
+		t.Fatal("NOT false should be true")
+	}
+}
+
+func TestCostDrain(t *testing.T) {
+	var c Cost
+	c.Add(5)
+	c.Add(7)
+	if got := c.Drain(); got != 12 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if c.Cycles != 0 {
+		t.Fatal("Drain did not reset")
+	}
+}
+
+func TestNilCostSafe(t *testing.T) {
+	var c *Cost
+	c.Add(5) // must not panic
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Cmp{Op: EQ, L: Col{Idx: 0, Name: "l_quantity"}, R: Const{V: Int(7)}}
+	if got := e.String(); got != "(l_quantity = 7)" {
+		t.Fatalf("String = %q", got)
+	}
+	o := Or{Terms: []Expr{e, e}}
+	if got := o.String(); got != "((l_quantity = 7) OR (l_quantity = 7))" {
+		t.Fatalf("Or.String = %q", got)
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive over ints and floats.
+func TestComparePropertyAntisymmetric(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, vb := Int(int64(a)), Int(int64(b))
+		return Compare(va, vb) == -Compare(vb, va) && Compare(va, va) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Between over [lo, hi) agrees with the conjunction of two
+// comparisons.
+func TestBetweenEquivalence(t *testing.T) {
+	f := func(v, lo, hi int16) bool {
+		row := Row{Int(int64(v))}
+		b := Between{E: Col{Idx: 0}, Lo: Int(int64(lo)), Hi: Int(int64(hi))}.Eval(row, nil).Truthy()
+		c := v >= lo && v < hi
+		return b == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecodb/internal/sim"
+)
+
+func newE8500(t testing.TB) (*CPU, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	return New(E8500(), clock), clock
+}
+
+func TestStockFrequency(t *testing.T) {
+	c, _ := newE8500(t)
+	// 9.5 × 333.33 MHz ≈ 3.167 GHz.
+	f := c.Freq(c.TopPState()).GHz()
+	if math.Abs(f-3.1667) > 0.001 {
+		t.Fatalf("stock top frequency = %v GHz, want ≈3.1667", f)
+	}
+}
+
+func TestUnderclockScalesAllPStates(t *testing.T) {
+	c, _ := newE8500(t)
+	stock := make([]float64, 0)
+	for _, p := range c.PStates() {
+		stock = append(stock, float64(c.Freq(p)))
+	}
+	c.SetUnderclock(0.10)
+	for i, p := range c.PStates() {
+		got := float64(c.Freq(p))
+		if math.Abs(got-0.9*stock[i]) > 1e-9 {
+			t.Fatalf("p-state %d freq %v, want %v", i, got, 0.9*stock[i])
+		}
+	}
+	// All p-states remain available: underclocking, unlike capping,
+	// retains every multiplier (§3 of the paper).
+	if len(c.PStates()) != 5 {
+		t.Fatalf("p-states = %d, want 5", len(c.PStates()))
+	}
+}
+
+func TestUnderclockSlowsMemory(t *testing.T) {
+	c, _ := newE8500(t)
+	stockMem := float64(c.MemFreq())
+	c.SetUnderclock(0.15)
+	if got := float64(c.MemFreq()); math.Abs(got-0.85*stockMem) > 1e-9 {
+		t.Fatalf("mem freq %v, want %v", got, 0.85*stockMem)
+	}
+}
+
+func TestMultiplierCapLimitsTopPState(t *testing.T) {
+	c, _ := newE8500(t)
+	c.SetMultiplierCap(7)
+	if got := c.TopPState().Multiplier; got != 7 {
+		t.Fatalf("capped top multiplier = %v, want 7", got)
+	}
+	c.SetMultiplierCap(0)
+	if got := c.TopPState().Multiplier; got != 9.5 {
+		t.Fatalf("uncapped top multiplier = %v, want 9.5", got)
+	}
+}
+
+// The paper's §3 example: capping at multiplier 7 on a 333 MHz FSB yields a
+// 2.33 GHz ceiling, whereas 5% underclocking keeps the top multiplier and
+// yields a finer-grained reduction.
+func TestCapVsUnderclockGranularity(t *testing.T) {
+	c, _ := newE8500(t)
+	c.SetMultiplierCap(7)
+	capped := c.Freq(c.TopPState()).GHz()
+	if math.Abs(capped-2.333) > 0.01 {
+		t.Fatalf("capped frequency %v GHz, want ≈2.333", capped)
+	}
+	c.SetMultiplierCap(0)
+	c.SetUnderclock(0.05)
+	underclocked := c.Freq(c.TopPState()).GHz()
+	if !(underclocked > capped) {
+		t.Fatalf("5%% underclock (%v GHz) should sit above a 7x cap (%v GHz)", underclocked, capped)
+	}
+}
+
+func TestVoltageDowngradeLowersVoltage(t *testing.T) {
+	c, _ := newE8500(t)
+	top := c.TopPState()
+	stock := c.Voltage(top, 0)
+	c.SetDowngrade(DowngradeSmall)
+	small := c.Voltage(top, 0)
+	c.SetDowngrade(DowngradeMedium)
+	medium := c.Voltage(top, 0)
+	if !(medium < small && small < stock) {
+		t.Fatalf("voltages not ordered: stock %v small %v medium %v", stock, small, medium)
+	}
+}
+
+func TestLoadlineDroop(t *testing.T) {
+	c, _ := newE8500(t)
+	top := c.TopPState()
+	noLoad := c.Voltage(top, 0)
+	if c.Voltage(top, 2) != noLoad {
+		t.Fatal("stock loadline should not droop under load")
+	}
+	c.SetLoadline(LoadlineLight)
+	if got := c.Voltage(top, 2); got >= noLoad {
+		t.Fatalf("light loadline under 2-core load %v should droop below %v", got, noLoad)
+	}
+}
+
+func TestVoltageFloor(t *testing.T) {
+	cfg := E8500()
+	cfg.DowngradeOffsets[DowngradeMedium] = 0.9 // absurd downgrade
+	c := New(cfg, sim.NewClock())
+	c.SetDowngrade(DowngradeMedium)
+	if got := c.Voltage(c.PStates()[0], 0); got != cfg.VFloor {
+		t.Fatalf("voltage %v, want floored at %v", got, cfg.VFloor)
+	}
+}
+
+func TestPowerModelMonotonicity(t *testing.T) {
+	c, _ := newE8500(t)
+	// Busy power exceeds idle power; compute exceeds memstall.
+	if !(c.BusyPower(Compute) > c.IdlePower()) {
+		t.Fatal("busy power should exceed idle power")
+	}
+	if !(c.BusyPower(Compute) > c.BusyPower(MemStall)) {
+		t.Fatal("compute power should exceed memstall power")
+	}
+	if !(c.BusyPower(Stream) > c.BusyPower(MemStall)) {
+		t.Fatal("stream power should exceed memstall power")
+	}
+}
+
+func TestDowngradeReducesBusyPower(t *testing.T) {
+	c, _ := newE8500(t)
+	stock := c.BusyPower(Compute)
+	c.SetDowngrade(DowngradeMedium)
+	if got := c.BusyPower(Compute); got >= stock {
+		t.Fatalf("medium downgrade power %v, want below stock %v", got, stock)
+	}
+}
+
+func TestDeepIdleReducesIdlePower(t *testing.T) {
+	c, _ := newE8500(t)
+	stockIdle := c.IdlePower()
+	c.SetDeepIdle(true)
+	if got := c.IdlePower(); got >= stockIdle {
+		t.Fatalf("deep idle power %v, want below stock idle %v", got, stockIdle)
+	}
+}
+
+func TestRunAdvancesClockByCyclesOverFreq(t *testing.T) {
+	c, clock := newE8500(t)
+	f := c.Freq(c.TopPState()).Hz()
+	d := c.Run(f, Compute) // one second of single-core work
+	if math.Abs(d.Seconds()-1) > 1e-9 {
+		t.Fatalf("Run duration = %v, want 1s", d)
+	}
+	if math.Abs(clock.Now().Seconds()-1) > 1e-9 {
+		t.Fatalf("clock = %v, want 1s", clock.Now())
+	}
+}
+
+func TestRunParallelismSpeedsCompute(t *testing.T) {
+	c, _ := newE8500(t)
+	d1 := c.Run(1e9, Compute)
+	c.SetParallelism(2)
+	d2 := c.Run(1e9, Compute)
+	if math.Abs(d2.Seconds()*2-d1.Seconds()) > 1e-12 {
+		t.Fatalf("2-core run %v, want half of %v", d2, d1)
+	}
+}
+
+func TestMemStallSlowdownBlend(t *testing.T) {
+	c, _ := newE8500(t)
+	cfg := c.Config()
+	cycles := 1e9
+	stock := c.Run(cycles, MemStall)
+	c.SetUnderclock(0.10)
+	slowed := c.Run(cycles, MemStall)
+	// Fixed-latency half pays the timing fallback beyond the free 5%;
+	// transfer half scales with the slowed clock.
+	penalty := 1 + cfg.MemTimingFallbackK*(0.10-cfg.MemTimingFallbackFreeUC)
+	want := cfg.MemFixedLatencyFrac*penalty + (1-cfg.MemFixedLatencyFrac)/0.9
+	if ratio := slowed.Seconds() / stock.Seconds(); math.Abs(ratio-want) > 1e-9 {
+		t.Fatalf("memstall slowdown ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestMemStallNoPenaltyWithinFreeUnderclock(t *testing.T) {
+	c, _ := newE8500(t)
+	cfg := c.Config()
+	cycles := 1e9
+	stock := c.Run(cycles, MemStall)
+	c.SetUnderclock(cfg.MemTimingFallbackFreeUC)
+	slowed := c.Run(cycles, MemStall)
+	want := cfg.MemFixedLatencyFrac + (1-cfg.MemFixedLatencyFrac)/(1-cfg.MemTimingFallbackFreeUC)
+	if ratio := slowed.Seconds() / stock.Seconds(); math.Abs(ratio-want) > 1e-9 {
+		t.Fatalf("memstall slowdown at free underclock = %v, want %v (no timing penalty)", ratio, want)
+	}
+}
+
+func TestRunRecordsEnergy(t *testing.T) {
+	c, clock := newE8500(t)
+	start := clock.Now()
+	c.Run(3.1667e9, Compute) // ~1 s
+	e := c.Trace().Energy(start, clock.Now())
+	want := float64(c.BusyPower(Compute)) * clock.Now().Seconds()
+	if math.Abs(float64(e)-want) > 1e-6 {
+		t.Fatalf("trace energy = %v, want %v", e, want)
+	}
+}
+
+func TestWaitRecordsIdleEnergy(t *testing.T) {
+	c, clock := newE8500(t)
+	c.SetDeepIdle(true)
+	start := clock.Now()
+	c.Wait(10 * sim.Second)
+	e := c.Trace().Energy(start, clock.Now())
+	want := float64(c.IdlePower()) * 10
+	if math.Abs(float64(e)-want) > 1e-6 {
+		t.Fatalf("idle energy = %v, want %v", e, want)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	c, _ := newE8500(t)
+	c.Run(3.1667e9, Compute)
+	c.Wait(sim.Second)
+	s := c.Stats()
+	if s.Cycles != 3.1667e9 {
+		t.Fatalf("cycles = %v", s.Cycles)
+	}
+	if s.Busy <= 0 || s.Idle != sim.Second {
+		t.Fatalf("busy=%v idle=%v", s.Busy, s.Idle)
+	}
+	if s.BusyFraction <= 0 || s.BusyFraction >= 1 {
+		t.Fatalf("busy fraction = %v", s.BusyFraction)
+	}
+	if math.Abs(float64(s.MeanVoltage)-1.25) > 1e-9 {
+		t.Fatalf("mean voltage = %v, want 1.25 (stock top VID)", s.MeanVoltage)
+	}
+	if math.Abs(s.MeanFreqGHz-3.1667) > 0.001 {
+		t.Fatalf("mean freq = %v", s.MeanFreqGHz)
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.Cycles != 0 || s.Busy != 0 || s.Idle != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestZeroCyclesNoOp(t *testing.T) {
+	c, clock := newE8500(t)
+	before := clock.Now()
+	if d := c.Run(0, Compute); d != 0 || clock.Now() != before {
+		t.Fatal("zero-cycle run advanced time")
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	c, _ := newE8500(t)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative cycles", func() { c.Run(-1, Compute) })
+	mustPanic("negative wait", func() { c.Wait(-1) })
+	mustPanic("underclock out of range", func() { c.SetUnderclock(0.6) })
+	mustPanic("bad parallelism", func() { c.SetParallelism(3) })
+	mustPanic("cap below lowest", func() { c.SetMultiplierCap(1) })
+}
+
+// Property: the paper's §3.4 model — with the processor pinned busy, EDP of
+// a fixed-cycle compute job is proportional to V²/F across settings.
+func TestEDPProportionalToV2OverF(t *testing.T) {
+	f := func(uc8 uint8, dg uint8) bool {
+		ucFrac := float64(uc8%16) / 100 // 0..15%
+		d := Downgrade(dg % 3)
+
+		clock := sim.NewClock()
+		c := New(E8500(), clock)
+		c.SetUnderclock(ucFrac)
+		c.SetDowngrade(d)
+
+		const cycles = 1e9
+		start := clock.Now()
+		dur := c.Run(cycles, Compute)
+		e := c.Trace().Energy(start, clock.Now())
+		edp := float64(e) * dur.Seconds()
+
+		v := float64(c.Voltage(c.TopPState(), 1))
+		fghz := c.Freq(c.TopPState()).GHz()
+		// Subtract the non-CV²F terms (leakage + uncore + halted core),
+		// leaving pure dynamic EDP to compare against V²/F.
+		cfg := c.Config()
+		overheadW := cfg.LeakWPerV*v + float64(cfg.UncoreW) +
+			cfg.CdynWPerV2GHz*v*v*fghz*cfg.IdleActivityHalt
+		dynE := float64(e) - overheadW*dur.Seconds()
+		dynEDP := dynE * dur.Seconds()
+
+		theory := v * v / fghz
+		// dynEDP = Cdyn·V²·F·t² = Cdyn·cycles²/1e18·V²/F — so the ratio
+		// must be the constant Cdyn·cycles²·1e-18.
+		wantConst := cfg.CdynWPerV2GHz * cycles * cycles * 1e-18
+		gotConst := dynEDP / theory
+		_ = edp
+		return math.Abs(gotConst-wantConst) < 1e-6*wantConst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy over any run is non-negative and the clock never moves
+// backwards regardless of operation order.
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		clock := sim.NewClock()
+		c := New(E8500(), clock)
+		last := clock.Now()
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				c.Run(float64(op)*1e6, Compute)
+			case 1:
+				c.Run(float64(op)*1e6, MemStall)
+			case 2:
+				c.Wait(sim.Duration(op) * sim.Millisecond)
+			case 3:
+				c.SetUnderclock(float64(op%16) / 100)
+			}
+			if clock.Now() < last {
+				return false
+			}
+			last = clock.Now()
+		}
+		return c.Trace().Energy(0, clock.Now()) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package cpu models a desktop processor of the Core 2 era with dynamic
+// voltage and frequency scaling (DVFS), in the way the paper's PVC technique
+// manipulates it:
+//
+//   - P-states are (multiplier, voltage) pairs; CPU frequency is the product
+//     of the front-side-bus (FSB) speed and the multiplier.
+//   - Underclocking lowers the FSB speed, scaling *every* p-state down while
+//     retaining all of them — the paper's preferred fine-grained control.
+//   - Multiplier capping (the traditional alternative) limits the top
+//     p-state but leaves the FSB alone.
+//   - Voltage downgrades subtract a fixed offset from every p-state's VID.
+//
+// Power follows the paper's §3.4 model, dynamic power = C·V²·F scaled by an
+// activity factor, plus a leakage term proportional to voltage and a small
+// constant uncore draw. Time for compute work is cycles/frequency; memory-
+// stall work is clocked by the memory bus, which also slows when the FSB is
+// underclocked (§3: "underclocking also slows the main memory").
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"ecodb/internal/energy"
+)
+
+// MHz is a frequency in megahertz.
+type MHz float64
+
+// GHz returns the frequency in gigahertz.
+func (f MHz) GHz() float64 { return float64(f) / 1000 }
+
+// Hz returns the frequency in hertz.
+func (f MHz) Hz() float64 { return float64(f) * 1e6 }
+
+func (f MHz) String() string { return fmt.Sprintf("%.0fMHz", float64(f)) }
+
+// PState is one processor performance state: a CPU multiplier and the stock
+// voltage (VID) the processor requests at that multiplier.
+type PState struct {
+	Multiplier float64
+	VID        energy.Volts
+}
+
+// Freq returns the CPU core frequency of this p-state on the given FSB.
+func (p PState) Freq(fsb MHz) MHz { return MHz(float64(fsb) * p.Multiplier) }
+
+// Downgrade identifies one of the motherboard's preset CPU voltage
+// downgrade levels (the ASUS 6-Engine "small" and "medium" settings used in
+// the paper).
+type Downgrade int
+
+// Voltage downgrade levels.
+const (
+	DowngradeNone Downgrade = iota
+	DowngradeSmall
+	DowngradeMedium
+)
+
+func (d Downgrade) String() string {
+	switch d {
+	case DowngradeNone:
+		return "none"
+	case DowngradeSmall:
+		return "small"
+	case DowngradeMedium:
+		return "medium"
+	default:
+		return fmt.Sprintf("Downgrade(%d)", int(d))
+	}
+}
+
+// Loadline selects the motherboard's voltage loadline calibration. The
+// paper's tuned runs set "CPU loadline: light", which lets the core voltage
+// droop under load instead of compensating for it; the stock setting holds
+// the VID steady.
+type Loadline int
+
+// Loadline settings.
+const (
+	LoadlineStock Loadline = iota
+	LoadlineLight
+)
+
+func (l Loadline) String() string {
+	if l == LoadlineLight {
+		return "light"
+	}
+	return "stock"
+}
+
+// sortPStates orders p-states by ascending multiplier and validates them.
+func sortPStates(ps []PState) ([]PState, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("cpu: no p-states configured")
+	}
+	out := make([]PState, len(ps))
+	copy(out, ps)
+	sort.Slice(out, func(i, j int) bool { return out[i].Multiplier < out[j].Multiplier })
+	for i, p := range out {
+		if p.Multiplier <= 0 {
+			return nil, fmt.Errorf("cpu: p-state %d has non-positive multiplier %v", i, p.Multiplier)
+		}
+		if p.VID <= 0 {
+			return nil, fmt.Errorf("cpu: p-state %d has non-positive VID %v", i, p.VID)
+		}
+		if i > 0 && out[i].VID < out[i-1].VID {
+			return nil, fmt.Errorf("cpu: p-state VIDs must be non-decreasing with multiplier")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecodb/internal/sim"
+)
+
+func newDisk(t testing.TB) (*Disk, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	return New(CaviarSE16(), clock), clock
+}
+
+func TestSequentialServiceTimeLinear(t *testing.T) {
+	d, _ := newDisk(t)
+	t1 := d.ServiceTime(1<<20, Sequential)
+	t2 := d.ServiceTime(2<<20, Sequential)
+	if math.Abs(t2.Seconds()-2*t1.Seconds()) > 1e-12 {
+		t.Fatalf("sequential time not linear: %v vs %v", t1, t2)
+	}
+}
+
+func TestRandomPaysPositioning(t *testing.T) {
+	d, _ := newDisk(t)
+	seqT := d.ServiceTime(4<<10, Sequential)
+	rndT := d.ServiceTime(4<<10, Random)
+	if rndT <= seqT {
+		t.Fatalf("random 4KB (%v) should cost more than sequential (%v)", rndT, seqT)
+	}
+	cfg := d.Config()
+	minPositioning := cfg.AvgSeek + cfg.AvgRotational
+	if rndT < minPositioning {
+		t.Fatalf("random read %v cheaper than positioning %v", rndT, minPositioning)
+	}
+}
+
+// Figure 5(a): sequential throughput flat in block size; random throughput
+// rises sub-linearly — roughly 1.9×, 3.5×, 6× over the 4 KB rate at
+// 8/16/32 KB.
+func TestThroughputShapeMatchesFigure5(t *testing.T) {
+	d, _ := newDisk(t)
+	tput := func(block int64, p Pattern) float64 {
+		dur := d.ServiceTime(block, p)
+		return float64(block) / (1 << 20) / dur.Seconds()
+	}
+	seq4 := tput(4<<10, Sequential)
+	seq32 := tput(32<<10, Sequential)
+	if math.Abs(seq32/seq4-1) > 1e-9 {
+		t.Fatalf("sequential throughput should be flat: %v vs %v", seq4, seq32)
+	}
+
+	r4 := tput(4<<10, Random)
+	ratios := []struct {
+		block    int64
+		lo, hi   float64
+		paperVal float64
+	}{
+		{8 << 10, 1.7, 2.0, 1.88},
+		{16 << 10, 3.1, 3.9, 3.5},
+		{32 << 10, 5.2, 6.8, 6.0},
+	}
+	for _, r := range ratios {
+		got := tput(r.block, Random) / r4
+		if got < r.lo || got > r.hi {
+			t.Errorf("random %dKB/4KB throughput ratio = %.2f, want in [%v,%v] (paper ≈%v)",
+				r.block>>10, got, r.lo, r.hi, r.paperVal)
+		}
+	}
+}
+
+func TestReadRecordsPowerOnBothLines(t *testing.T) {
+	d, clock := newDisk(t)
+	start := clock.Now()
+	dur := d.Read(1<<20, Random)
+	clock.Advance(dur)
+	end := clock.Now()
+
+	cfg := d.Config()
+	e5 := d.Line5V().Energy(start, end)
+	e12 := d.Line12V().Energy(start, end)
+	if e5 <= 0 || e12 <= 0 {
+		t.Fatalf("line energies not recorded: 5V=%v 12V=%v", e5, e12)
+	}
+	if float64(e5) <= float64(cfg.Line5VIdle)*dur.Seconds() {
+		t.Fatal("5V line energy should exceed idle draw during a read")
+	}
+	// After the read both lines return to idle.
+	if got := d.Line5V().At(end); got != cfg.Line5VIdle {
+		t.Fatalf("5V after read = %v, want idle %v", got, cfg.Line5VIdle)
+	}
+	if got := d.Line12V().At(end); got != cfg.Line12VIdle {
+		t.Fatalf("12V after read = %v, want idle %v", got, cfg.Line12VIdle)
+	}
+}
+
+func TestRandomDrawsMorePowerThanSequential(t *testing.T) {
+	// Equal-size reads: the random one must cost more energy (slower AND
+	// seek power).
+	mk := func(p Pattern) float64 {
+		clock := sim.NewClock()
+		d := New(CaviarSE16(), clock)
+		start := clock.Now()
+		dur := d.Read(64<<10, p)
+		clock.Advance(dur)
+		return float64(d.Energy(start, clock.Now()))
+	}
+	if seq, rnd := mk(Sequential), mk(Random); rnd <= seq {
+		t.Fatalf("random energy %v should exceed sequential %v", rnd, seq)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d, clock := newDisk(t)
+	clock.Advance(d.Read(4<<10, Random))
+	clock.Advance(d.Read(8<<10, Sequential))
+	s := d.Stats()
+	if s.Reads != 2 || s.Seeks != 1 || s.BytesRead != 12<<10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Active <= 0 {
+		t.Fatal("active time not accumulated")
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.Reads != 0 || s.BytesRead != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestZeroByteRead(t *testing.T) {
+	d, _ := newDisk(t)
+	if dur := d.Read(0, Sequential); dur != 0 {
+		t.Fatalf("zero-byte read took %v", dur)
+	}
+}
+
+func TestNegativeReadPanics(t *testing.T) {
+	d, _ := newDisk(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative read did not panic")
+		}
+	}()
+	d.Read(-1, Sequential)
+}
+
+// Property: service time is monotonically non-decreasing in read size for
+// both patterns.
+func TestServiceTimeMonotonic(t *testing.T) {
+	d, _ := newDisk(t)
+	f := func(a, b uint32) bool {
+		x, y := int64(a%(64<<20)), int64(b%(64<<20))
+		if x > y {
+			x, y = y, x
+		}
+		for _, p := range []Pattern{Sequential, Random} {
+			if d.ServiceTime(x, p) > d.ServiceTime(y, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy per KB for random reads decreases as block size grows
+// (Figure 5(b)).
+func TestRandomEnergyPerKBDecreases(t *testing.T) {
+	perKB := func(block int64) float64 {
+		clock := sim.NewClock()
+		d := New(CaviarSE16(), clock)
+		start := clock.Now()
+		clock.Advance(d.Read(block, Random))
+		return float64(d.Energy(start, clock.Now())) / (float64(block) / 1024)
+	}
+	prev := math.Inf(1)
+	for _, b := range []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10} {
+		cur := perKB(b)
+		if cur >= prev {
+			t.Fatalf("energy/KB at %dKB (%v) not below previous (%v)", b>>10, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,101 @@
+// Package mem models DDR3 main memory power. The memory clock is a
+// multiple of the front-side bus, so underclocking the FSB (the paper's PVC
+// technique) also slows memory and reduces its power draw — the paper notes
+// this explicitly in §3.
+//
+// Timing effects of the slower memory clock are modelled on the CPU side
+// (cpu.MemStall work is paced by the memory clock); this package only
+// accounts for DIMM power, which feeds Table 1 and the whole-system wall
+// measurements.
+package mem
+
+import (
+	"fmt"
+
+	"ecodb/internal/energy"
+	"ecodb/internal/sim"
+)
+
+// Config describes the installed memory.
+type Config struct {
+	// DIMMs is the number of installed modules.
+	DIMMs int
+	// GBPerDIMM is each module's capacity.
+	GBPerDIMM float64
+	// StockMHz is the data rate at the stock FSB (DDR3-1333 → 1333).
+	StockMHz float64
+
+	// ControllerW is drawn once when any memory is installed (the
+	// on-board memory controller and termination). The paper's Table 1
+	// shows the first DIMM adding ~4.3 W at the wall but the second only
+	// ~1.7 W; the difference is this one-time cost.
+	ControllerW energy.Watts
+	// DIMMBaseW is each module's standby draw.
+	DIMMBaseW energy.Watts
+	// DIMMWPerGHz is each module's additional draw per GHz of memory
+	// clock while active.
+	DIMMWPerGHz float64
+}
+
+// Kingston2x1GDDR3 matches the paper's system: 2 × 1 GB Kingston DDR3-1333.
+func Kingston2x1GDDR3() Config {
+	return Config{
+		DIMMs:       2,
+		GBPerDIMM:   1,
+		StockMHz:    1333,
+		ControllerW: 2.4,
+		DIMMBaseW:   0.65,
+		DIMMWPerGHz: 0.60,
+	}
+}
+
+// Memory is a bank of DIMMs attached to the simulated machine.
+type Memory struct {
+	cfg   Config
+	clock *sim.Clock
+	trace energy.Trace
+	ratio float64 // current clock / stock clock
+}
+
+// New returns a Memory attached to clock, running at stock speed.
+func New(cfg Config, clock *sim.Clock) *Memory {
+	if cfg.DIMMs < 0 {
+		panic("mem: negative DIMM count")
+	}
+	m := &Memory{cfg: cfg, clock: clock, ratio: 1}
+	m.trace.Set(clock.Now(), m.Power())
+	return m
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Trace returns the memory power trace.
+func (m *Memory) Trace() *energy.Trace { return &m.trace }
+
+// SetClockRatio scales the memory clock relative to stock; the machine
+// calls this when the FSB is underclocked. Ratios outside (0, 1.2] panic.
+func (m *Memory) SetClockRatio(r float64) {
+	if r <= 0 || r > 1.2 {
+		panic(fmt.Sprintf("mem: clock ratio %v out of range", r))
+	}
+	m.ratio = r
+	m.trace.Set(m.clock.Now(), m.Power())
+}
+
+// EffectiveMHz returns the current memory data rate.
+func (m *Memory) EffectiveMHz() float64 { return m.cfg.StockMHz * m.ratio }
+
+// CapacityGB returns total installed capacity.
+func (m *Memory) CapacityGB() float64 {
+	return float64(m.cfg.DIMMs) * m.cfg.GBPerDIMM
+}
+
+// Power returns the current total memory subsystem draw.
+func (m *Memory) Power() energy.Watts {
+	if m.cfg.DIMMs == 0 {
+		return 0
+	}
+	perDIMM := m.cfg.DIMMBaseW + energy.Watts(m.cfg.DIMMWPerGHz*m.EffectiveMHz()/1000)
+	return m.cfg.ControllerW + energy.Watts(m.cfg.DIMMs)*perDIMM
+}

@@ -1,0 +1,81 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"ecodb/internal/sim"
+)
+
+func TestPowerScalesWithDIMMs(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := Kingston2x1GDDR3()
+
+	cfg.DIMMs = 0
+	none := New(cfg, clock)
+	if none.Power() != 0 {
+		t.Fatalf("no DIMMs should draw 0, got %v", none.Power())
+	}
+
+	cfg.DIMMs = 1
+	one := New(cfg, clock)
+	cfg.DIMMs = 2
+	two := New(cfg, clock)
+
+	// First DIMM includes the controller activation; the second adds
+	// only the per-DIMM draw — the paper's Table 1 asymmetry (≈4.3 W
+	// then ≈1.7 W at the wall).
+	first := float64(one.Power())
+	second := float64(two.Power() - one.Power())
+	if !(first > 2*second) {
+		t.Fatalf("first DIMM (%vW) should cost much more than the second (%vW)", first, second)
+	}
+}
+
+func TestUnderclockLowersMemoryPower(t *testing.T) {
+	clock := sim.NewClock()
+	m := New(Kingston2x1GDDR3(), clock)
+	stock := m.Power()
+	m.SetClockRatio(0.85)
+	if got := m.Power(); got >= stock {
+		t.Fatalf("slowed memory draws %v, want below %v", got, stock)
+	}
+	if math.Abs(m.EffectiveMHz()-0.85*1333) > 1e-9 {
+		t.Fatalf("effective clock = %v", m.EffectiveMHz())
+	}
+}
+
+func TestClockRatioBounds(t *testing.T) {
+	m := New(Kingston2x1GDDR3(), sim.NewClock())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ratio 0 did not panic")
+		}
+	}()
+	m.SetClockRatio(0)
+}
+
+func TestCapacity(t *testing.T) {
+	m := New(Kingston2x1GDDR3(), sim.NewClock())
+	if m.CapacityGB() != 2 {
+		t.Fatalf("capacity = %v GB", m.CapacityGB())
+	}
+}
+
+func TestTraceFollowsPower(t *testing.T) {
+	clock := sim.NewClock()
+	m := New(Kingston2x1GDDR3(), clock)
+	clock.Advance(5 * sim.Second)
+	m.SetClockRatio(0.9)
+	clock.Advance(5 * sim.Second)
+	e := m.Trace().Energy(0, clock.Now())
+	if e <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	// Second half must be cheaper than the first.
+	first := m.Trace().Energy(0, 5)
+	second := m.Trace().Energy(5, 10)
+	if second >= first {
+		t.Fatalf("slowed half (%v) should cost less than stock half (%v)", second, first)
+	}
+}

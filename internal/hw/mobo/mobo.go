@@ -1,0 +1,202 @@
+// Package mobo models the paper's ASUS P5Q3 Deluxe motherboard: its own
+// power draw, the onboard EPU sensor that measures CPU package power (the
+// paper's primary energy instrument), and the 6-Engine tuning software that
+// applies underclocking, voltage downgrades, loadline and chipset settings
+// to the platform.
+package mobo
+
+import (
+	"ecodb/internal/energy"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/hw/mem"
+	"ecodb/internal/sim"
+)
+
+// Config describes the motherboard.
+type Config struct {
+	Model string
+	// SoftOffW is the board's draw while soft-off (wake circuitry).
+	SoftOffW energy.Watts
+	// BaseW is the board's draw when powered on (chipset, VRM losses,
+	// fans, onboard controllers) before any chipset downgrade.
+	BaseW energy.Watts
+	// CPUActivatedW is additional board draw activated when a CPU is
+	// installed (VRM phases, CPU fan). The paper notes that installing
+	// the CPU "likely activates other components on the motherboard".
+	CPUActivatedW energy.Watts
+	// ChipsetDowngradeSavesW is saved when the 6-Engine chipset voltage
+	// downgrade is enabled.
+	ChipsetDowngradeSavesW energy.Watts
+}
+
+// P5Q3Deluxe matches the paper's board, a "green"-marketed P45 board.
+func P5Q3Deluxe() Config {
+	return Config{
+		Model:                  "ASUS P5Q3 Deluxe WiFi-AP",
+		SoftOffW:               3.7,
+		BaseW:                  12.8,
+		CPUActivatedW:          3.6,
+		ChipsetDowngradeSavesW: 1.4,
+	}
+}
+
+// Motherboard is the simulated board. It owns the power trace for the
+// board itself; the CPU, memory, disk and GPU record their own traces.
+type Motherboard struct {
+	cfg   Config
+	clock *sim.Clock
+	trace energy.Trace
+
+	cpuInstalled      bool
+	chipsetDowngraded bool
+	on                bool
+}
+
+// New returns a powered-off Motherboard attached to clock.
+func New(cfg Config, clock *sim.Clock) *Motherboard {
+	m := &Motherboard{cfg: cfg, clock: clock}
+	m.trace.Set(clock.Now(), 0) // soft-off draw is accounted by the PSU standby path
+	return m
+}
+
+// Config returns the board configuration.
+func (m *Motherboard) Config() Config { return m.cfg }
+
+// Trace returns the board's DC power trace.
+func (m *Motherboard) Trace() *energy.Trace { return &m.trace }
+
+// SetCPUInstalled records whether a CPU is socketed, which activates
+// additional board circuitry.
+func (m *Motherboard) SetCPUInstalled(installed bool) {
+	m.cpuInstalled = installed
+	m.refresh()
+}
+
+// SetPower turns the board on or off (the case power button).
+func (m *Motherboard) SetPower(on bool) {
+	m.on = on
+	m.refresh()
+}
+
+// On reports whether the board is powered.
+func (m *Motherboard) On() bool { return m.on }
+
+// SoftOffDC returns the board's DC draw while soft-off.
+func (m *Motherboard) SoftOffDC() energy.Watts { return m.cfg.SoftOffW }
+
+// Power returns the board's current DC draw.
+func (m *Motherboard) Power() energy.Watts {
+	if !m.on {
+		return 0
+	}
+	w := m.cfg.BaseW
+	if m.cpuInstalled {
+		w += m.cfg.CPUActivatedW
+	}
+	if m.chipsetDowngraded {
+		w -= m.cfg.ChipsetDowngradeSavesW
+	}
+	return w
+}
+
+func (m *Motherboard) refresh() {
+	m.trace.Set(m.clock.Now(), m.Power())
+}
+
+// EPUSensor is the board's onboard CPU power sensor. It exposes the CPU
+// package power trace the way the ASUS EPU does: a live wattage readout
+// that external software (the 6-Engine GUI) samples about once per second.
+type EPUSensor struct {
+	cpu *cpu.CPU
+}
+
+// EPU returns the board's CPU power sensor for the installed processor.
+func (m *Motherboard) EPU(c *cpu.CPU) *EPUSensor { return &EPUSensor{cpu: c} }
+
+// ReadWatts returns the instantaneous CPU package power at instant t.
+func (s *EPUSensor) ReadWatts(t sim.Time) energy.Watts { return s.cpu.Trace().At(t) }
+
+// Trace exposes the underlying CPU power trace for exact integration
+// (what a better instrument than the 1 Hz GUI would see).
+func (s *EPUSensor) Trace() *energy.Trace { return s.cpu.Trace() }
+
+// Tuner is the 6-Engine software facade: one object that pushes a platform
+// power profile onto the CPU, memory and chipset together, the way the
+// paper's experiments configure the machine.
+type Tuner struct {
+	board *Motherboard
+	cpu   *cpu.CPU
+	mem   *mem.Memory
+}
+
+// Tuner returns the 6-Engine control facade for the installed components.
+func (m *Motherboard) Tuner(c *cpu.CPU, mm *mem.Memory) *Tuner {
+	return &Tuner{board: m, cpu: c, mem: mm}
+}
+
+// Profile is a complete 6-Engine platform setting.
+type Profile struct {
+	// UnderclockFrac lowers the FSB by this fraction (0.05 = 5%).
+	UnderclockFrac float64
+	// Downgrade is the CPU voltage downgrade preset.
+	Downgrade cpu.Downgrade
+	// LightLoadline enables voltage droop under load ("CPU loadline:
+	// light" in the paper's setup).
+	LightLoadline bool
+	// ChipsetDowngrade lowers chipset voltage ("chipset voltage
+	// downgrade: on").
+	ChipsetDowngrade bool
+	// DeepIdle enables EPU idle management (immediate downshift and deep
+	// halts during waits).
+	DeepIdle bool
+	// StallMultiplierCap engages the EPU's dynamic low-load downshift for
+	// memory-stalled phases (0 disables it). The 6-Engine's milder
+	// profile downshifts to 8×, its aggressive profile to 6×.
+	StallMultiplierCap float64
+}
+
+// Stock is the factory configuration: no underclock, no downgrades, stock
+// loadline, and the OS high-performance idle behaviour.
+func Stock() Profile { return Profile{} }
+
+// Tuned returns the paper's non-stock configuration at the given
+// underclocking fraction and voltage downgrade: light loadline, chipset
+// downgrade on, and EPU power management enabled, exactly the auxiliary
+// settings §3.3 lists. The EPU's dynamic downshift depth follows the
+// selected preset: the "small" profile downshifts stalled phases to 8×,
+// the "medium" profile to 6×.
+func Tuned(underclockFrac float64, d cpu.Downgrade) Profile {
+	var stallCap float64
+	switch d {
+	case cpu.DowngradeSmall:
+		stallCap = 8
+	case cpu.DowngradeMedium:
+		stallCap = 6
+	}
+	return Profile{
+		UnderclockFrac:     underclockFrac,
+		Downgrade:          d,
+		LightLoadline:      true,
+		ChipsetDowngrade:   true,
+		DeepIdle:           true,
+		StallMultiplierCap: stallCap,
+	}
+}
+
+// Apply pushes the profile to all platform components.
+func (t *Tuner) Apply(p Profile) {
+	t.cpu.SetUnderclock(p.UnderclockFrac)
+	t.cpu.SetDowngrade(p.Downgrade)
+	if p.LightLoadline {
+		t.cpu.SetLoadline(cpu.LoadlineLight)
+	} else {
+		t.cpu.SetLoadline(cpu.LoadlineStock)
+	}
+	t.cpu.SetDeepIdle(p.DeepIdle)
+	t.cpu.SetStallMultiplierCap(p.StallMultiplierCap)
+	t.board.chipsetDowngraded = p.ChipsetDowngrade
+	t.board.refresh()
+	if t.mem != nil {
+		t.mem.SetClockRatio(1 - p.UnderclockFrac)
+	}
+}

@@ -1,0 +1,123 @@
+package mobo
+
+import (
+	"testing"
+
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/hw/mem"
+	"ecodb/internal/sim"
+)
+
+func testBoard(t testing.TB) (*Motherboard, *cpu.CPU, *mem.Memory, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	b := New(P5Q3Deluxe(), clock)
+	c := cpu.New(cpu.E8500(), clock)
+	m := mem.New(mem.Kingston2x1GDDR3(), clock)
+	return b, c, m, clock
+}
+
+func TestBoardPowerStates(t *testing.T) {
+	b, _, _, _ := testBoard(t)
+	if b.Power() != 0 {
+		t.Fatal("off board should draw 0 on the DC trace")
+	}
+	b.SetPower(true)
+	base := b.Power()
+	if base <= 0 {
+		t.Fatal("powered board should draw")
+	}
+	b.SetCPUInstalled(true)
+	if b.Power() <= base {
+		t.Fatal("installing a CPU should activate extra board circuitry")
+	}
+}
+
+func TestTunedProfileSettings(t *testing.T) {
+	p := Tuned(0.10, cpu.DowngradeMedium)
+	if p.UnderclockFrac != 0.10 || p.Downgrade != cpu.DowngradeMedium {
+		t.Fatalf("profile = %+v", p)
+	}
+	if !p.LightLoadline || !p.ChipsetDowngrade || !p.DeepIdle {
+		t.Fatal("tuned profile must enable the paper's auxiliary settings")
+	}
+	if p.StallMultiplierCap != 6 {
+		t.Fatalf("medium stall cap = %v, want 6", p.StallMultiplierCap)
+	}
+	if Tuned(0.05, cpu.DowngradeSmall).StallMultiplierCap != 8 {
+		t.Fatal("small stall cap should be 8")
+	}
+	if Stock() != (Profile{}) {
+		t.Fatal("stock profile should be the zero value")
+	}
+}
+
+func TestTunerAppliesEverything(t *testing.T) {
+	b, c, m, _ := testBoard(t)
+	b.SetPower(true)
+	tuner := b.Tuner(c, m)
+	onPower := b.Power()
+
+	tuner.Apply(Tuned(0.10, cpu.DowngradeSmall))
+	if c.Underclock() != 0.10 {
+		t.Fatal("underclock not applied")
+	}
+	if c.Downgrade() != cpu.DowngradeSmall {
+		t.Fatal("downgrade not applied")
+	}
+	if m.EffectiveMHz() >= 1333 {
+		t.Fatal("memory clock not slowed")
+	}
+	if b.Power() >= onPower {
+		t.Fatal("chipset downgrade not applied")
+	}
+
+	tuner.Apply(Stock())
+	if c.Underclock() != 0 || c.Downgrade() != cpu.DowngradeNone {
+		t.Fatal("stock profile not restored")
+	}
+	if m.EffectiveMHz() != 1333 {
+		t.Fatal("memory clock not restored")
+	}
+}
+
+func TestTunedLowersIdleAndBusyPower(t *testing.T) {
+	b, c, m, _ := testBoard(t)
+	b.SetPower(true)
+	tuner := b.Tuner(c, m)
+
+	stockIdle := c.IdlePower()
+	stockBusy := c.BusyPower(cpu.Compute)
+	stockStall := c.BusyPower(cpu.MemStall)
+	tuner.Apply(Tuned(0.05, cpu.DowngradeMedium))
+	if c.IdlePower() >= stockIdle {
+		t.Fatal("tuned idle power should drop (deep idle + downgrade)")
+	}
+	if c.BusyPower(cpu.Compute) >= stockBusy {
+		t.Fatal("tuned busy power should drop")
+	}
+	// The EPU stall downshift makes memory-stalled power drop much more
+	// than proportionally.
+	stallRatio := float64(c.BusyPower(cpu.MemStall)) / float64(stockStall)
+	busyRatio := float64(c.BusyPower(cpu.Compute)) / float64(stockBusy)
+	if stallRatio >= busyRatio {
+		t.Fatalf("stall power ratio %v should undercut compute ratio %v (EPU downshift)",
+			stallRatio, busyRatio)
+	}
+}
+
+func TestEPUSensorReadsCPUTrace(t *testing.T) {
+	b, c, _, clock := testBoard(t)
+	epu := b.EPU(c)
+	idle := epu.ReadWatts(clock.Now())
+	c.Run(3e9, cpu.Compute)
+	// Mid-run reading (probe just after the run started).
+	busyAt := clock.Now().Sub(0) / 2
+	busy := epu.ReadWatts(sim.Time(busyAt))
+	if busy <= idle {
+		t.Fatalf("EPU busy reading %v should exceed idle %v", busy, idle)
+	}
+	if epu.Trace() != c.Trace() {
+		t.Fatal("EPU trace should be the CPU trace")
+	}
+}

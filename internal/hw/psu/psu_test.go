@@ -1,0 +1,87 @@
+package psu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecodb/internal/energy"
+)
+
+func TestEfficiencyInterpolation(t *testing.T) {
+	p := New(VX450W())
+	// Paper: "we estimate that the power efficiency of the PSU is around
+	// 83%, given the near 20% load".
+	eff := p.Efficiency(energy.Watts(0.2 * 450))
+	if math.Abs(eff-0.84) > 0.02 {
+		t.Fatalf("efficiency at 20%% load = %v, want ≈0.83-0.84", eff)
+	}
+}
+
+func TestEfficiencyEndpoints(t *testing.T) {
+	p := New(VX450W())
+	curve := p.Config().EfficiencyCurve
+	if got := p.Efficiency(0); got != curve[0][1] {
+		t.Fatalf("zero-load efficiency = %v", got)
+	}
+	if got := p.Efficiency(energy.Watts(2 * 450)); got != curve[len(curve)-1][1] {
+		t.Fatalf("overload efficiency = %v", got)
+	}
+}
+
+func TestWallExceedsDC(t *testing.T) {
+	p := New(VX450W())
+	f := func(raw uint16) bool {
+		dc := energy.Watts(float64(raw%400) + 1)
+		return p.Wall(dc) > dc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallMonotonicInLoad(t *testing.T) {
+	p := New(VX450W())
+	prev := energy.Watts(0)
+	for dc := 1.0; dc <= 450; dc += 1 {
+		w := p.Wall(energy.Watts(dc))
+		if w <= prev {
+			t.Fatalf("wall power not monotonic at %vW DC", dc)
+		}
+		prev = w
+	}
+}
+
+func TestNegativeLoadPanics(t *testing.T) {
+	p := New(VX450W())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative load did not panic")
+		}
+	}()
+	p.Wall(-1)
+}
+
+func TestStandby(t *testing.T) {
+	p := New(VX450W())
+	if p.StandbyWall() != p.Config().StandbyW {
+		t.Fatal("standby mismatch")
+	}
+}
+
+func TestBadCurvePanics(t *testing.T) {
+	mustPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		New(cfg)
+	}
+	mustPanic("empty curve", Config{RatedW: 100})
+	mustPanic("unordered curve", Config{
+		RatedW:          100,
+		EfficiencyCurve: [][2]float64{{0.5, 0.8}, {0.1, 0.7}},
+	})
+}

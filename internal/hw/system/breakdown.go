@@ -1,0 +1,124 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"ecodb/internal/energy"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/hw/disk"
+	"ecodb/internal/hw/mem"
+	"ecodb/internal/hw/mobo"
+	"ecodb/internal/hw/psu"
+	"ecodb/internal/sim"
+)
+
+// BreakdownStage is one row of the paper's Table 1: a set of installed
+// components and the wall power measured with them.
+type BreakdownStage struct {
+	Label string
+	// Components present, mirroring Table 1's columns.
+	CPU, RAM1G, RAM2G, GPU, SysOn bool
+	// WallW is the simulated wall reading for this build stage.
+	WallW energy.Watts
+}
+
+// PowerBreakdown reproduces the paper's Table 1 experiment: starting from
+// just the PSU and motherboard, components are added one at a time and the
+// wall draw is measured at each stage. The measurements are taken with no
+// disk and no operating system (as in the paper), so the CPU spins in
+// firmware at the top p-state on one core.
+func PowerBreakdown() []BreakdownStage {
+	stages := []struct {
+		label                       string
+		cpu, ram1, ram2, gpu, sysOn bool
+	}{
+		{"PSU+MOBO, system off", false, false, false, false, false},
+		{"PSU+MOBO", false, false, false, false, true},
+		{"+CPU (with fan)", true, false, false, false, true},
+		{"+1G RAM", true, true, false, false, true},
+		{"+2G RAM", true, true, true, false, true},
+		{"+GPU", true, true, true, true, true},
+	}
+
+	out := make([]BreakdownStage, 0, len(stages))
+	for _, s := range stages {
+		m := buildStage(s.cpu, s.ram1, s.ram2, s.gpu, s.sysOn)
+		out = append(out, BreakdownStage{
+			Label: s.label,
+			CPU:   s.cpu, RAM1G: s.ram1, RAM2G: s.ram2, GPU: s.gpu, SysOn: s.sysOn,
+			WallW: m.WallPowerAt(m.Clock.Now()),
+		})
+	}
+	return out
+}
+
+// buildStage assembles a partially populated machine. Components that are
+// not installed contribute no draw (zero-DIMM memory, powered-off GPU).
+func buildStage(withCPU, ram1, ram2, withGPU, sysOn bool) *Machine {
+	clock := sim.NewClock()
+	memCfg := mem.Kingston2x1GDDR3()
+	switch {
+	case ram1 && ram2:
+		memCfg.DIMMs = 2
+	case ram1:
+		memCfg.DIMMs = 1
+	default:
+		memCfg.DIMMs = 0
+	}
+	m := &Machine{
+		Clock: clock,
+		Mem:   mem.New(memCfg, clock),
+		Disk:  disk.New(disk.CaviarSE16(), clock), // constructed but unplugged below
+		GPU:   GeForce8400GS(clock),
+		Board: mobo.New(mobo.P5Q3Deluxe(), clock),
+		PSU:   psu.New(psu.VX450W()),
+	}
+	// Table 1 is measured without the disk: silence its idle draw.
+	m.Disk.Line5V().Set(clock.Now(), 0)
+	m.Disk.Line12V().Set(clock.Now(), 0)
+
+	// firmwareActivity is the switching activity of the BIOS boot-screen
+	// spin loop: one core polling, far below a database workload's IPC.
+	const firmwareActivity = 0.68
+
+	m.CPU = cpu.New(cpu.E8500(), clock)
+	if withCPU {
+		m.Board.SetCPUInstalled(true)
+		if sysOn {
+			// No OS: firmware spins one core at the top p-state.
+			m.CPU.Trace().Set(clock.Now(), m.CPU.PowerAt(m.CPU.TopPState(), firmwareActivity, 1))
+		}
+	} else {
+		m.CPU.Trace().Set(clock.Now(), 0)
+	}
+	if !withGPU {
+		m.GPU.SetPower(false)
+	} else {
+		m.GPU.SetPower(sysOn)
+	}
+	m.Board.SetPower(sysOn)
+	if !sysOn {
+		m.CPU.Trace().Set(clock.Now(), 0)
+	}
+	return m
+}
+
+// FormatBreakdown renders stages as the paper's Table 1.
+func FormatBreakdown(stages []BreakdownStage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-6s %-6s %-6s %-5s %-7s %9s\n",
+		"Stage", "CPU", "1G RAM", "2G RAM", "GPU", "SYS ON", "Measured")
+	mark := func(v bool) string {
+		if v {
+			return "X"
+		}
+		return "x"
+	}
+	for _, s := range stages {
+		fmt.Fprintf(&b, "%-24s %-6s %-6s %-6s %-5s %-7s %8.1fW\n",
+			s.Label, mark(s.CPU), mark(s.RAM1G), mark(s.RAM2G), mark(s.GPU), mark(s.SysOn),
+			float64(s.WallW))
+	}
+	return b.String()
+}

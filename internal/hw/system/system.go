@@ -1,0 +1,136 @@
+// Package system assembles the paper's system under test: ASUS P5Q3 Deluxe
+// board, Intel E8500, 2×1 GB DDR3, GeForce 8400GS, WD Caviar SE16 disk and
+// a Corsair VX450W supply, measured at the wall by a Yokogawa WT210. It
+// provides the component-staging power breakdown of the paper's Table 1 and
+// the blocking-I/O orchestration that ties CPU waits to disk service times.
+package system
+
+import (
+	"ecodb/internal/energy"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/hw/disk"
+	"ecodb/internal/hw/mem"
+	"ecodb/internal/hw/mobo"
+	"ecodb/internal/hw/psu"
+	"ecodb/internal/sim"
+)
+
+// GPU is a discrete graphics card modelled as a constant draw; the paper
+// notes database servers may not need one, and it only matters for the
+// wall-power breakdown.
+type GPU struct {
+	Model string
+	IdleW energy.Watts
+
+	clock *sim.Clock
+	trace energy.Trace
+	on    bool
+}
+
+// GeForce8400GS matches the paper's ASUS GeForce 8400GS 256M.
+func GeForce8400GS(clock *sim.Clock) *GPU {
+	g := &GPU{Model: "ASUS GeForce 8400GS 256M", IdleW: 11.7, clock: clock}
+	g.trace.Set(clock.Now(), 0)
+	return g
+}
+
+// Trace returns the GPU power trace.
+func (g *GPU) Trace() *energy.Trace { return &g.trace }
+
+// SetPower turns the card's draw on or off with the system.
+func (g *GPU) SetPower(on bool) {
+	g.on = on
+	if on {
+		g.trace.Set(g.clock.Now(), g.IdleW)
+	} else {
+		g.trace.Set(g.clock.Now(), 0)
+	}
+}
+
+// Machine is a fully assembled system under test sharing one virtual clock.
+type Machine struct {
+	Clock *sim.Clock
+	CPU   *cpu.CPU
+	Mem   *mem.Memory
+	Disk  *disk.Disk
+	GPU   *GPU
+	Board *mobo.Motherboard
+	PSU   *psu.PSU
+}
+
+// NewSUT assembles the paper's system under test with all components
+// installed and powered on.
+func NewSUT() *Machine {
+	clock := sim.NewClock()
+	m := &Machine{
+		Clock: clock,
+		CPU:   cpu.New(cpu.E8500(), clock),
+		Mem:   mem.New(mem.Kingston2x1GDDR3(), clock),
+		Disk:  disk.New(disk.CaviarSE16(), clock),
+		GPU:   GeForce8400GS(clock),
+		Board: mobo.New(mobo.P5Q3Deluxe(), clock),
+		PSU:   psu.New(psu.VX450W()),
+	}
+	m.Board.SetCPUInstalled(true)
+	m.Board.SetPower(true)
+	m.GPU.SetPower(true)
+	return m
+}
+
+// Tuner returns the 6-Engine facade controlling this machine's platform.
+func (m *Machine) Tuner() *mobo.Tuner { return m.Board.Tuner(m.CPU, m.Mem) }
+
+// EPU returns the board's CPU power sensor.
+func (m *Machine) EPU() *mobo.EPUSensor { return m.Board.EPU(m.CPU) }
+
+// CPUModel returns the machine's processor; it satisfies the engine's
+// Machine interface.
+func (m *Machine) CPUModel() *cpu.CPU { return m.CPU }
+
+// BlockingRead performs one synchronous disk read: the disk services the
+// request while the CPU idles, and the clock advances once by the service
+// time. This is how query execution charges I/O waits.
+func (m *Machine) BlockingRead(n int64, pattern disk.Pattern) sim.Duration {
+	d := m.Disk.Read(n, pattern)
+	m.CPU.Wait(d)
+	return d
+}
+
+// dcTraces lists every DC-side component trace.
+func (m *Machine) dcTraces() []*energy.Trace {
+	return []*energy.Trace{
+		m.CPU.Trace(), m.Mem.Trace(), m.Disk.Line5V(), m.Disk.Line12V(),
+		m.GPU.Trace(), m.Board.Trace(),
+	}
+}
+
+// DCPowerAt returns the summed component DC draw at instant t.
+func (m *Machine) DCPowerAt(t sim.Time) energy.Watts {
+	return energy.TotalAt(t, m.dcTraces()...)
+}
+
+// WallPowerAt returns the wall draw at instant t — what the Yokogawa WT210
+// reads — including PSU conversion loss and standby draw.
+func (m *Machine) WallPowerAt(t sim.Time) energy.Watts {
+	dc := m.DCPowerAt(t)
+	if !m.Board.On() {
+		return m.PSU.StandbyWall() + m.Board.SoftOffDC()
+	}
+	return m.PSU.Wall(dc)
+}
+
+// WallEnergy integrates wall power over [t0, t1] exactly, applying the
+// PSU's load-dependent efficiency instant by instant.
+func (m *Machine) WallEnergy(t0, t1 sim.Time) energy.Joules {
+	if !m.Board.On() {
+		return (m.PSU.StandbyWall() + m.Board.SoftOffDC()).For(t1.Sub(t0).Seconds())
+	}
+	return energy.Integrate(t0, t1, func(dc energy.Watts) energy.Watts {
+		return m.PSU.Wall(dc)
+	}, m.dcTraces()...)
+}
+
+// DCEnergy integrates the summed component DC draw over [t0, t1].
+func (m *Machine) DCEnergy(t0, t1 sim.Time) energy.Joules {
+	return energy.Integrate(t0, t1, nil, m.dcTraces()...)
+}

@@ -1,0 +1,166 @@
+package mqo
+
+import (
+	"testing"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/plan"
+)
+
+func lineitemish() *catalog.Table {
+	t := catalog.NewTable("li", catalog.NewSchema(
+		catalog.Column{Name: "k", Kind: expr.KindInt},
+		catalog.Column{Name: "qty", Kind: expr.KindInt},
+	))
+	for i := int64(0); i < 100; i++ {
+		t.Insert(expr.Row{expr.Int(i), expr.Int(i%10 + 1)})
+	}
+	return t
+}
+
+func selQuery(t *catalog.Table, qty int64) plan.Node {
+	return plan.NewScan(t, expr.Cmp{
+		Op: expr.EQ, L: t.Schema.Col("qty"), R: expr.Const{V: expr.Int(qty)},
+	})
+}
+
+func TestExtractSelection(t *testing.T) {
+	tb := lineitemish()
+	sel, ok := ExtractSelection(selQuery(tb, 3))
+	if !ok {
+		t.Fatal("selection not recognized")
+	}
+	if sel.Table != tb || sel.Col != 1 || sel.Value.I != 3 {
+		t.Fatalf("selection = %+v", sel)
+	}
+}
+
+func TestExtractSelectionRejects(t *testing.T) {
+	tb := lineitemish()
+	cases := []struct {
+		name string
+		node plan.Node
+	}{
+		{"no filter", plan.NewScan(tb, nil)},
+		{"range predicate", plan.NewScan(tb, expr.Cmp{Op: expr.LT, L: tb.Schema.Col("qty"), R: expr.Const{V: expr.Int(3)}})},
+		{"non-scan", plan.NewLimit(plan.NewScan(tb, nil), 1)},
+		{"const-const", plan.NewScan(tb, expr.Cmp{Op: expr.EQ, L: expr.Const{V: expr.Int(1)}, R: expr.Const{V: expr.Int(1)}})},
+	}
+	for _, c := range cases {
+		if _, ok := ExtractSelection(c.node); ok {
+			t.Errorf("%s should not be mergeable", c.name)
+		}
+	}
+}
+
+func TestMergeOrChain(t *testing.T) {
+	tb := lineitemish()
+	m, err := Merge([]plan.Node{selQuery(tb, 1), selQuery(tb, 2), selQuery(tb, 3)}, OrChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, ok := m.Plan.(*plan.Scan)
+	if !ok {
+		t.Fatalf("merged plan is %T", m.Plan)
+	}
+	or, ok := scan.Filter.(expr.Or)
+	if !ok {
+		t.Fatalf("merged predicate is %T, want Or", scan.Filter)
+	}
+	if len(or.Terms) != 3 {
+		t.Fatalf("disjunction has %d terms", len(or.Terms))
+	}
+	// Semantics: merged predicate matches exactly the union.
+	for i := int64(0); i < 100; i++ {
+		row := expr.Row{expr.Int(i), expr.Int(i%10 + 1)}
+		want := row[1].I >= 1 && row[1].I <= 3
+		if got := scan.Filter.Eval(row, nil).Truthy(); got != want {
+			t.Fatalf("merged predicate on qty=%d = %v, want %v", row[1].I, got, want)
+		}
+	}
+}
+
+func TestMergeHashSet(t *testing.T) {
+	tb := lineitemish()
+	m, err := Merge([]plan.Node{selQuery(tb, 4), selQuery(tb, 9)}, HashSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := m.Plan.(*plan.Scan)
+	if _, ok := scan.Filter.(*expr.InHash); !ok {
+		t.Fatalf("merged predicate is %T, want InHash", scan.Filter)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	tb := lineitemish()
+	other := catalog.NewTable("other", catalog.NewSchema(
+		catalog.Column{Name: "qty", Kind: expr.KindInt}))
+
+	if _, err := Merge([]plan.Node{selQuery(tb, 1)}, OrChain); err == nil {
+		t.Fatal("single query should not merge")
+	}
+	if _, err := Merge([]plan.Node{selQuery(tb, 1), plan.NewScan(tb, nil)}, OrChain); err == nil {
+		t.Fatal("non-selection should not merge")
+	}
+	otherQ := plan.NewScan(other, expr.Cmp{Op: expr.EQ, L: other.Schema.Col("qty"), R: expr.Const{V: expr.Int(1)}})
+	if _, err := Merge([]plan.Node{selQuery(tb, 1), otherQ}, OrChain); err == nil {
+		t.Fatal("cross-table queries should not merge")
+	}
+}
+
+func TestSplitRoutesRows(t *testing.T) {
+	tb := lineitemish()
+	m, err := Merge([]plan.Node{selQuery(tb, 1), selQuery(tb, 2)}, OrChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the merged result by hand: rows with qty 1, 2 and an
+	// (impossible in practice) unmatched qty 5.
+	rows := []expr.Row{
+		{expr.Int(0), expr.Int(1)},
+		{expr.Int(1), expr.Int(2)},
+		{expr.Int(2), expr.Int(1)},
+		{expr.Int(3), expr.Int(5)},
+	}
+	perQuery, cycles := m.Split(rows)
+	if len(perQuery) != 2 {
+		t.Fatalf("split produced %d buckets", len(perQuery))
+	}
+	if len(perQuery[0]) != 2 || len(perQuery[1]) != 1 {
+		t.Fatalf("bucket sizes = %d,%d want 2,1", len(perQuery[0]), len(perQuery[1]))
+	}
+	if cycles <= 0 {
+		t.Fatal("split must report client cycles")
+	}
+}
+
+func TestSplitCostScalesWithBatchForOrChain(t *testing.T) {
+	tb := lineitemish()
+	mk := func(n int, strategy MergeStrategy) float64 {
+		queries := make([]plan.Node, n)
+		for i := range queries {
+			queries[i] = selQuery(tb, int64(i+1))
+		}
+		m, err := Merge(queries, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := []expr.Row{{expr.Int(0), expr.Int(1)}}
+		_, cycles := m.Split(rows)
+		return cycles
+	}
+	if !(mk(10, OrChain) < mk(20, OrChain)) {
+		t.Fatal("or-chain split cost should grow with batch size")
+	}
+	if mk(10, HashSet) != mk(20, HashSet) {
+		t.Fatal("hash-set split cost should not grow with batch size")
+	}
+}
+
+func TestMergeStrategyString(t *testing.T) {
+	if OrChain.String() != "or-chain" || HashSet.String() != "hash-set" {
+		t.Fatal("strategy names wrong")
+	}
+}

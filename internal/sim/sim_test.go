@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(2 * Second)
+	c.Advance(500 * Millisecond)
+	if got, want := c.Now().Seconds(), 2.5; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(Time(3))
+	if c.Now() != 3 {
+		t.Fatalf("AdvanceTo(3): Now() = %v", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	c.AdvanceTo(Time(1))
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset, Now() = %v", c.Now())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{5 * Nanosecond, "5.0ns"},
+		{3 * Microsecond, "3.00µs"},
+		{12 * Millisecond, "12.00ms"},
+		{1.5 * Second, "1.500s"},
+		{120 * Second, "2.0min"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeSubAdd(t *testing.T) {
+	a := Time(10)
+	b := a.Add(2 * Second)
+	if b.Sub(a) != 2*Second {
+		t.Fatalf("Sub = %v, want 2s", b.Sub(a))
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	if NewRNG(42).Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced identical first values")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		v := NewRNG(seed).Intn(bound)
+		return v >= 0 && v < bound
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntRangeInclusive(t *testing.T) {
+	r := NewRNG(1)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntRange(3,7) = %d", v)
+		}
+		seenLo = seenLo || v == 3
+		seenHi = seenHi || v == 7
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("IntRange never produced an endpoint in 10k draws")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: 50 buckets over 100k draws should each be
+	// within 20% of the expected count. Catches gross modulo bias.
+	r := NewRNG(99)
+	const draws, buckets = 100000, 50
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.2*want {
+			t.Fatalf("bucket %d count %d deviates >20%% from %v", b, c, want)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	p := NewRNG(5).Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(0).Intn(0)
+}

@@ -1,0 +1,141 @@
+package sql
+
+import "fmt"
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []JoinClause
+	Where   Node
+	GroupBy []ColRef
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// SelectItem is one select-list entry: either a star, a plain expression,
+// or an aggregate call, optionally aliased.
+type SelectItem struct {
+	Star  bool
+	Agg   string // "", or SUM/COUNT/MIN/MAX/AVG
+	Expr  Node   // nil for COUNT(*) and star
+	Alias string
+}
+
+// TableRef names a base table.
+type TableRef struct {
+	Name string
+}
+
+// JoinClause is one INNER JOIN with its ON condition.
+type JoinClause struct {
+	Table TableRef
+	On    Node
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+// Node is an expression AST node.
+type Node interface {
+	fmt.Stringer
+	node()
+}
+
+// ColRef references a column, optionally qualified.
+type ColRef struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+func (c ColRef) node() {}
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Lit is a literal value.
+type Lit struct {
+	Kind LitKind
+	N    float64 // Number
+	S    string  // Str / Date
+	B    bool    // Boolean
+}
+
+// LitKind classifies literals.
+type LitKind int
+
+// Literal kinds.
+const (
+	LitNumber LitKind = iota
+	LitString
+	LitDate
+	LitBool
+	LitNull
+)
+
+func (l Lit) node() {}
+func (l Lit) String() string {
+	switch l.Kind {
+	case LitNumber:
+		return fmt.Sprintf("%g", l.N)
+	case LitString:
+		return "'" + l.S + "'"
+	case LitDate:
+		return "DATE '" + l.S + "'"
+	case LitBool:
+		return fmt.Sprintf("%v", l.B)
+	default:
+		return "NULL"
+	}
+}
+
+// BinOp is a binary operation: comparison, arithmetic, AND, OR.
+type BinOp struct {
+	Op   string // = <> < <= > >= + - * / AND OR
+	L, R Node
+}
+
+func (b BinOp) node()          {}
+func (b BinOp) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// UnaryNot is NOT <expr>.
+type UnaryNot struct {
+	E Node
+}
+
+func (u UnaryNot) node()          {}
+func (u UnaryNot) String() string { return fmt.Sprintf("(NOT %s)", u.E) }
+
+// BetweenNode is <expr> BETWEEN lo AND hi (inclusive bounds, per SQL).
+type BetweenNode struct {
+	E, Lo, Hi Node
+}
+
+func (b BetweenNode) node() {}
+func (b BetweenNode) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.E, b.Lo, b.Hi)
+}
+
+// InNode is <expr> IN (v1, v2, ...).
+type InNode struct {
+	E    Node
+	List []Node
+}
+
+func (i InNode) node() {}
+func (i InNode) String() string {
+	s := fmt.Sprintf("(%s IN (", i.E)
+	for j, v := range i.List {
+		if j > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + "))"
+}

@@ -1,0 +1,552 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/plan"
+)
+
+// Plan parses a SELECT statement and lowers it onto the catalog's tables,
+// producing an executable logical plan. Joins are built left-deep in FROM
+// order with hash joins on the equality conditions of each ON clause; WHERE
+// conjuncts that touch only the first table are pushed into its scan, the
+// engines' no-index plan shape.
+func Plan(cat *catalog.Catalog, query string) (plan.Node, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Bind(cat, stmt)
+}
+
+// Bind lowers a parsed statement onto the catalog.
+func Bind(cat *catalog.Catalog, stmt *SelectStmt) (plan.Node, error) {
+	b := &binder{cat: cat}
+	return b.bind(stmt)
+}
+
+type binder struct {
+	cat *catalog.Catalog
+}
+
+// scope resolves column references against the current intermediate
+// schema, tracking which base table contributed each column.
+type scope struct {
+	schema *catalog.Schema
+	source []string // table name per column position
+}
+
+func (s *scope) resolve(c ColRef) (int, error) {
+	if c.Table == "" {
+		idx, ok := s.schema.Index(c.Name)
+		if !ok {
+			return 0, fmt.Errorf("sql: unknown column %q", c.Name)
+		}
+		return idx, nil
+	}
+	for i, col := range s.schema.Columns() {
+		if col.Name == c.Name && s.source[i] == c.Table {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: unknown column %q", c.String())
+}
+
+func (b *binder) bind(stmt *SelectStmt) (plan.Node, error) {
+	base, err := b.cat.Table(stmt.From.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split WHERE into conjuncts; push single-table ones into the scan.
+	conjuncts := splitConjuncts(stmt.Where)
+	baseScope := &scope{schema: base.Schema, source: tableSources(base)}
+	var scanPred expr.Expr
+	var residualWhere []Node
+	for _, c := range conjuncts {
+		if bound, err := bindExpr(c, baseScope); err == nil {
+			scanPred = andWith(scanPred, bound)
+		} else {
+			residualWhere = append(residualWhere, c)
+		}
+	}
+
+	var root plan.Node = plan.NewScan(base, scanPred)
+	sc := baseScope
+
+	// Left-deep join chain.
+	for _, j := range stmt.Joins {
+		right, err := b.cat.Table(j.Table.Name)
+		if err != nil {
+			return nil, err
+		}
+		rightScope := &scope{schema: right.Schema, source: tableSources(right)}
+		joined, joinedScope, err := bindJoin(root, sc, right, rightScope, j.On)
+		if err != nil {
+			return nil, err
+		}
+		root, sc = joined, joinedScope
+	}
+
+	// Remaining WHERE conjuncts over the joined schema.
+	for _, c := range residualWhere {
+		bound, err := bindExpr(c, sc)
+		if err != nil {
+			return nil, err
+		}
+		root = plan.NewFilter(root, bound)
+	}
+
+	// Aggregation.
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		root, sc, err = bindAgg(stmt, root, sc)
+		if err != nil {
+			return nil, err
+		}
+	} else if !isStar(stmt.Items) {
+		root, sc, err = bindProject(stmt.Items, root, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ORDER BY over the output schema.
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]plan.SortKey, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			col, ok := o.Expr.(ColRef)
+			if !ok {
+				return nil, fmt.Errorf("sql: ORDER BY supports column references only, got %s", o.Expr)
+			}
+			idx, err := sc.resolve(col)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = plan.SortKey{Col: idx, Desc: o.Desc}
+		}
+		root = plan.NewSort(root, keys...)
+	}
+
+	if stmt.Limit >= 0 {
+		root = plan.NewLimit(root, stmt.Limit)
+	}
+	return root, nil
+}
+
+func isStar(items []SelectItem) bool {
+	return len(items) == 1 && items[0].Star
+}
+
+func tableSources(t *catalog.Table) []string {
+	src := make([]string, t.Schema.NumCols())
+	for i := range src {
+		src[i] = t.Name
+	}
+	return src
+}
+
+// bindJoin builds a hash join between the accumulated left plan and a base
+// table, extracting one equality over (left, right) columns as the hash
+// keys and binding everything else in the ON clause as a residual.
+func bindJoin(left plan.Node, leftScope *scope, right *catalog.Table, rightScope *scope, on Node) (plan.Node, *scope, error) {
+	conjuncts := splitConjuncts(on)
+	keyIdx := -1
+	var lKey, rKey int
+	for i, c := range conjuncts {
+		bo, ok := c.(BinOp)
+		if !ok || bo.Op != "=" {
+			continue
+		}
+		lc, lok := bo.L.(ColRef)
+		rc, rok := bo.R.(ColRef)
+		if !lok || !rok {
+			continue
+		}
+		if li, err := leftScope.resolve(lc); err == nil {
+			if ri, err := rightScope.resolve(rc); err == nil {
+				keyIdx, lKey, rKey = i, li, ri
+				break
+			}
+		}
+		// Try flipped.
+		if li, err := leftScope.resolve(rc); err == nil {
+			if ri, err := rightScope.resolve(lc); err == nil {
+				keyIdx, lKey, rKey = i, li, ri
+				break
+			}
+		}
+	}
+	if keyIdx < 0 {
+		return nil, nil, fmt.Errorf("sql: JOIN %s requires an equality between the joined tables in ON", right.Name)
+	}
+
+	// Build side = accumulated left (small relations first in the
+	// paper's workloads), probe side = the new table.
+	j := plan.NewHashJoin(left, plan.NewScan(right, nil), lKey, rKey, nil)
+	joinedScope := &scope{
+		schema: j.Schema(),
+		source: append(append([]string{}, leftScope.source...), rightScope.source...),
+	}
+
+	// Residual conjuncts bind over the concatenated schema.
+	var residual expr.Expr
+	for i, c := range conjuncts {
+		if i == keyIdx {
+			continue
+		}
+		bound, err := bindExpr(c, joinedScope)
+		if err != nil {
+			return nil, nil, err
+		}
+		residual = andWith(residual, bound)
+	}
+	j.Residual = residual
+	return j, joinedScope, nil
+}
+
+// bindAgg lowers GROUP BY + aggregate select items, then projects the
+// select-list order on top when it differs from (groups..., aggs...).
+func bindAgg(stmt *SelectStmt, input plan.Node, sc *scope) (plan.Node, *scope, error) {
+	var groupIdx []int
+	for _, g := range stmt.GroupBy {
+		idx, err := sc.resolve(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupIdx = append(groupIdx, idx)
+	}
+
+	var specs []plan.AggSpec
+	outNames := make([]string, 0, len(stmt.Items))
+	aggNameByItem := make(map[int]string)
+	for i, it := range stmt.Items {
+		switch {
+		case it.Star:
+			return nil, nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+		case it.Agg != "":
+			name := it.Alias
+			if name == "" {
+				name = fmt.Sprintf("%s_%d", toLower(it.Agg), i+1)
+			}
+			spec := plan.AggSpec{Name: name}
+			switch it.Agg {
+			case "SUM":
+				spec.Func = plan.Sum
+			case "COUNT":
+				spec.Func = plan.Count
+			case "MIN":
+				spec.Func = plan.Min
+			case "MAX":
+				spec.Func = plan.Max
+			case "AVG":
+				spec.Func = plan.Avg
+			}
+			if it.Expr != nil {
+				arg, err := bindExpr(it.Expr, sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				spec.Arg = arg
+			} else if spec.Func != plan.Count {
+				return nil, nil, fmt.Errorf("sql: %s requires an argument", it.Agg)
+			}
+			specs = append(specs, spec)
+			aggNameByItem[i] = name
+			outNames = append(outNames, name)
+		default:
+			col, ok := it.Expr.(ColRef)
+			if !ok {
+				return nil, nil, fmt.Errorf("sql: non-aggregate select item %s must be a grouping column", it.Expr)
+			}
+			idx, err := sc.resolve(col)
+			if err != nil {
+				return nil, nil, err
+			}
+			found := false
+			for _, g := range groupIdx {
+				if g == idx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("sql: column %s is not in GROUP BY", col)
+			}
+			name := it.Alias
+			if name == "" {
+				name = col.Name
+			}
+			outNames = append(outNames, name)
+		}
+	}
+
+	agg := plan.NewAgg(input, groupIdx, specs)
+	aggScope := &scope{schema: agg.Schema(), source: make([]string, agg.Schema().NumCols())}
+
+	// Project into select-list order (and aliases).
+	exprs := make([]expr.Expr, len(stmt.Items))
+	kinds := make([]expr.Kind, len(stmt.Items))
+	gi, ai := 0, 0
+	for i, it := range stmt.Items {
+		if it.Agg != "" {
+			pos := len(groupIdx) + ai
+			exprs[i] = expr.Col{Idx: pos, Name: aggNameByItem[i]}
+			kinds[i] = agg.Schema().Columns()[pos].Kind
+			ai++
+		} else {
+			pos := indexOfGroup(groupIdx, sc, it.Expr.(ColRef))
+			exprs[i] = expr.Col{Idx: pos, Name: outNames[i]}
+			kinds[i] = agg.Schema().Columns()[pos].Kind
+			gi++
+		}
+	}
+	proj := plan.NewProject(agg, exprs, outNames, kinds)
+	return proj, &scope{schema: proj.Schema(), source: make([]string, proj.Schema().NumCols())}, aggScopeErr(aggScope)
+}
+
+// aggScopeErr exists to keep the error signature simple; binding above
+// cannot fail at this point.
+func aggScopeErr(*scope) error { return nil }
+
+func indexOfGroup(groupIdx []int, sc *scope, col ColRef) int {
+	idx, _ := sc.resolve(col)
+	for gpos, g := range groupIdx {
+		if g == idx {
+			return gpos
+		}
+	}
+	return 0
+}
+
+func bindProject(items []SelectItem, input plan.Node, sc *scope) (plan.Node, *scope, error) {
+	exprs := make([]expr.Expr, len(items))
+	names := make([]string, len(items))
+	kinds := make([]expr.Kind, len(items))
+	for i, it := range items {
+		if it.Star {
+			return nil, nil, fmt.Errorf("sql: * must be the only select item")
+		}
+		bound, err := bindExpr(it.Expr, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		exprs[i] = bound
+		names[i] = it.Alias
+		if names[i] == "" {
+			if c, ok := it.Expr.(ColRef); ok {
+				names[i] = c.Name
+			} else {
+				names[i] = fmt.Sprintf("col_%d", i+1)
+			}
+		}
+		kinds[i] = kindOf(it.Expr, sc)
+	}
+	p := plan.NewProject(input, exprs, names, kinds)
+	return p, &scope{schema: p.Schema(), source: make([]string, p.Schema().NumCols())}, nil
+}
+
+// kindOf infers a projected expression's output kind.
+func kindOf(n Node, sc *scope) expr.Kind {
+	switch n := n.(type) {
+	case ColRef:
+		if idx, err := sc.resolve(n); err == nil {
+			return sc.schema.Columns()[idx].Kind
+		}
+		return expr.KindNull
+	case Lit:
+		switch n.Kind {
+		case LitNumber:
+			if n.N == math.Trunc(n.N) {
+				return expr.KindInt
+			}
+			return expr.KindFloat
+		case LitString:
+			return expr.KindString
+		case LitDate:
+			return expr.KindDate
+		case LitBool:
+			return expr.KindBool
+		default:
+			return expr.KindNull
+		}
+	case BinOp:
+		switch n.Op {
+		case "+", "-", "*", "/":
+			return expr.KindFloat
+		default:
+			return expr.KindBool
+		}
+	default:
+		return expr.KindBool
+	}
+}
+
+// bindExpr lowers an AST expression against a scope.
+func bindExpr(n Node, sc *scope) (expr.Expr, error) {
+	switch n := n.(type) {
+	case ColRef:
+		idx, err := sc.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Col{Idx: idx, Name: n.Name}, nil
+	case Lit:
+		v, err := litValue(n)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Const{V: v}, nil
+	case UnaryNot:
+		e, err := bindExpr(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{E: e}, nil
+	case BetweenNode:
+		e, err := bindExpr(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, lok := n.Lo.(Lit)
+		hi, hok := n.Hi.(Lit)
+		if !lok || !hok {
+			return nil, fmt.Errorf("sql: BETWEEN bounds must be literals")
+		}
+		loV, err := litValue(lo)
+		if err != nil {
+			return nil, err
+		}
+		hiV, err := litValue(hi)
+		if err != nil {
+			return nil, err
+		}
+		// SQL BETWEEN is inclusive on both ends; the plan's Between is
+		// [lo, hi), so lower as a conjunction of comparisons.
+		return expr.And{Terms: []expr.Expr{
+			expr.Cmp{Op: expr.GE, L: e, R: expr.Const{V: loV}},
+			expr.Cmp{Op: expr.LE, L: e, R: expr.Const{V: hiV}},
+		}}, nil
+	case InNode:
+		e, err := bindExpr(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		terms := make([]expr.Expr, len(n.List))
+		for i, item := range n.List {
+			lit, ok := item.(Lit)
+			if !ok {
+				return nil, fmt.Errorf("sql: IN list items must be literals")
+			}
+			v, err := litValue(lit)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = expr.Cmp{Op: expr.EQ, L: e, R: expr.Const{V: v}}
+		}
+		// Lowered as the linear OR chain the paper's engines evaluate.
+		return expr.Or{Terms: terms}, nil
+	case BinOp:
+		l, err := bindExpr(n.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(n.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "AND":
+			return expr.And{Terms: []expr.Expr{l, r}}, nil
+		case "OR":
+			return expr.Or{Terms: []expr.Expr{l, r}}, nil
+		case "=":
+			return expr.Cmp{Op: expr.EQ, L: l, R: r}, nil
+		case "<>":
+			return expr.Cmp{Op: expr.NE, L: l, R: r}, nil
+		case "<":
+			return expr.Cmp{Op: expr.LT, L: l, R: r}, nil
+		case "<=":
+			return expr.Cmp{Op: expr.LE, L: l, R: r}, nil
+		case ">":
+			return expr.Cmp{Op: expr.GT, L: l, R: r}, nil
+		case ">=":
+			return expr.Cmp{Op: expr.GE, L: l, R: r}, nil
+		case "+":
+			return expr.Arith{Op: expr.Add, L: l, R: r}, nil
+		case "-":
+			return expr.Arith{Op: expr.Sub, L: l, R: r}, nil
+		case "*":
+			return expr.Arith{Op: expr.Mul, L: l, R: r}, nil
+		case "/":
+			return expr.Arith{Op: expr.Div, L: l, R: r}, nil
+		default:
+			return nil, fmt.Errorf("sql: unsupported operator %q", n.Op)
+		}
+	default:
+		return nil, fmt.Errorf("sql: cannot bind %T", n)
+	}
+}
+
+func litValue(l Lit) (expr.Value, error) {
+	switch l.Kind {
+	case LitNumber:
+		if l.N == math.Trunc(l.N) && math.Abs(l.N) < 1e15 {
+			return expr.Int(int64(l.N)), nil
+		}
+		return expr.Float(l.N), nil
+	case LitString:
+		return expr.String(l.S), nil
+	case LitDate:
+		t, err := time.Parse("2006-01-02", l.S)
+		if err != nil {
+			return expr.Value{}, fmt.Errorf("sql: bad date %q: %v", l.S, err)
+		}
+		return expr.Date(t.Unix() / 86400), nil
+	case LitBool:
+		return expr.Bool(l.B), nil
+	default:
+		return expr.Null(), nil
+	}
+}
+
+// splitConjuncts flattens a tree of AND nodes.
+func splitConjuncts(n Node) []Node {
+	if n == nil {
+		return nil
+	}
+	if bo, ok := n.(BinOp); ok && bo.Op == "AND" {
+		return append(splitConjuncts(bo.L), splitConjuncts(bo.R)...)
+	}
+	return []Node{n}
+}
+
+func andWith(acc, e expr.Expr) expr.Expr {
+	if acc == nil {
+		return e
+	}
+	if a, ok := acc.(expr.And); ok {
+		a.Terms = append(a.Terms, e)
+		return a
+	}
+	return expr.And{Terms: []expr.Expr{acc, e}}
+}
+
+func toLower(s string) string {
+	out := []byte(s)
+	for i := range out {
+		if out[i] >= 'A' && out[i] <= 'Z' {
+			out[i] += 'a' - 'A'
+		}
+	}
+	return string(out)
+}

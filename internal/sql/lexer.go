@@ -1,0 +1,141 @@
+// Package sql provides a small SQL front end for the ecoDB engine: a
+// lexer, a recursive-descent parser, and a binder that lowers parsed
+// SELECT statements onto the logical plans in internal/plan. It covers the
+// dialect the paper's workloads need — single- and multi-table
+// SELECT/JOIN/WHERE/GROUP BY/ORDER BY/LIMIT with arithmetic, comparisons,
+// BETWEEN, IN lists and the sum/count/min/max/avg aggregates — so clients
+// can drive the engine the way the paper's JDBC clients drove theirs.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * .
+	tokOp     // = <> < <= > >= + - /
+)
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognized by the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IN": true, "JOIN": true, "ON": true,
+	"ASC": true, "DESC": true, "SUM": true, "COUNT": true, "MIN": true,
+	"MAX": true, "AVG": true, "DATE": true, "INNER": true, "TRUE": true,
+	"FALSE": true, "NULL": true,
+}
+
+// lex tokenizes the input. It returns an error with position information
+// on any malformed token.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				out = append(out, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				out = append(out, token{kind: tokOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokOp, text: ">", pos: i})
+				i++
+			}
+		case c == '=' || c == '+' || c == '-' || c == '/':
+			out = append(out, token{kind: tokOp, text: string(c), pos: i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '.' || c == ';':
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}

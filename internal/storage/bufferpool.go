@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID identifies one page of one table.
+type PageID struct {
+	Table string
+	Index int
+}
+
+// DiskReader performs a blocking read of n bytes; sequential reports
+// whether the access continues the previous transfer. The engine wires
+// this to the simulated machine (disk service time + CPU idle wait).
+type DiskReader interface {
+	BlockingRead(n int64, sequential bool)
+}
+
+// PoolStats counts buffer pool traffic.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	BytesIn   int64
+}
+
+// BufferPool is a byte-budgeted LRU cache of table pages backed by a
+// simulated disk. Access charges a disk read on a miss; consecutive-index
+// misses on the same table read sequentially (the drive's streaming path),
+// everything else seeks.
+type BufferPool struct {
+	capacity int64
+	used     int64
+	reader   DiskReader
+
+	lru      *list.List               // front = most recent; values are *entry
+	resident map[PageID]*list.Element //
+
+	last  PageID // last page actually read from disk
+	valid bool   // whether last is meaningful
+	stats PoolStats
+}
+
+type entry struct {
+	id    PageID
+	bytes int64
+}
+
+// NewBufferPool returns a pool holding at most capacity bytes, reading
+// misses through reader. It panics on a non-positive capacity or nil
+// reader; use a resident (memory-engine) table configuration instead of a
+// degenerate pool.
+func NewBufferPool(capacity int64, reader DiskReader) *BufferPool {
+	if capacity <= 0 {
+		panic("storage: buffer pool capacity must be positive")
+	}
+	if reader == nil {
+		panic("storage: buffer pool needs a disk reader")
+	}
+	return &BufferPool{
+		capacity: capacity,
+		reader:   reader,
+		lru:      list.New(),
+		resident: make(map[PageID]*list.Element),
+	}
+}
+
+// Capacity returns the pool's byte budget.
+func (bp *BufferPool) Capacity() int64 { return bp.capacity }
+
+// Used returns the bytes currently resident.
+func (bp *BufferPool) Used() int64 { return bp.used }
+
+// Stats returns traffic counters.
+func (bp *BufferPool) Stats() PoolStats { return bp.stats }
+
+// ResetStats zeroes the traffic counters.
+func (bp *BufferPool) ResetStats() { bp.stats = PoolStats{} }
+
+// Access touches a page, reading it from disk if absent and evicting LRU
+// pages to fit. Pages larger than the whole pool still stream through (one
+// read, immediately evicted).
+func (bp *BufferPool) Access(id PageID, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("storage: negative page size for %v", id))
+	}
+	if el, ok := bp.resident[id]; ok {
+		bp.lru.MoveToFront(el)
+		bp.stats.Hits++
+		return
+	}
+	bp.stats.Misses++
+	bp.stats.BytesIn += bytes
+
+	sequential := bp.valid && id.Table == bp.last.Table && id.Index == bp.last.Index+1
+	bp.reader.BlockingRead(bytes, sequential)
+	bp.last, bp.valid = id, true
+
+	// Evict to fit.
+	for bp.used+bytes > bp.capacity && bp.lru.Len() > 0 {
+		back := bp.lru.Back()
+		e := back.Value.(*entry)
+		bp.lru.Remove(back)
+		delete(bp.resident, e.id)
+		bp.used -= e.bytes
+		bp.stats.Evictions++
+	}
+	if bytes <= bp.capacity {
+		el := bp.lru.PushFront(&entry{id: id, bytes: bytes})
+		bp.resident[id] = el
+		bp.used += bytes
+	}
+}
+
+// Contains reports whether a page is resident.
+func (bp *BufferPool) Contains(id PageID) bool {
+	_, ok := bp.resident[id]
+	return ok
+}
+
+// Warm marks a table's pages resident without charging disk reads, the
+// state after the warm-up runs the paper performs before measuring.
+// Warming more bytes than capacity keeps only the most recently warmed
+// pages, like a real scan-through would.
+func (bp *BufferPool) Warm(table string, heap *Heap) {
+	for i := 0; i < heap.NumPages(); i++ {
+		id := PageID{Table: table, Index: i}
+		bytes := heap.Page(i).Bytes
+		if el, ok := bp.resident[id]; ok {
+			bp.lru.MoveToFront(el)
+			continue
+		}
+		for bp.used+bytes > bp.capacity && bp.lru.Len() > 0 {
+			back := bp.lru.Back()
+			e := back.Value.(*entry)
+			bp.lru.Remove(back)
+			delete(bp.resident, e.id)
+			bp.used -= e.bytes
+			bp.stats.Evictions++
+		}
+		if bytes <= bp.capacity {
+			bp.resident[id] = bp.lru.PushFront(&entry{id: id, bytes: bytes})
+			bp.used += bytes
+		}
+	}
+}
+
+// InvalidateAll empties the pool — a cold start, as after the paper's
+// system reboot in §3.5.
+func (bp *BufferPool) InvalidateAll() {
+	bp.lru.Init()
+	bp.resident = make(map[PageID]*list.Element)
+	bp.used = 0
+	bp.valid = false
+}

@@ -1,0 +1,76 @@
+// Package storage provides heap table storage and a buffer pool. Tables
+// are divided into fixed-target-size pages; the buffer pool tracks which
+// pages are resident and charges simulated disk reads for misses, which is
+// how cold-vs-warm runs (paper §3.5) differ.
+package storage
+
+import (
+	"fmt"
+
+	"ecodb/internal/expr"
+)
+
+// DefaultPageBytes is the target page size, matching the 8 KB pages common
+// to the paper's engines.
+const DefaultPageBytes = 8 << 10
+
+// Page holds a batch of rows with a storage footprint estimate.
+type Page struct {
+	Rows  []expr.Row
+	Bytes int64
+}
+
+// Heap is an append-only heap file of pages. The paper's experiments
+// create no indices ("In all our experiments, we did not create any
+// database indices"), so heaps and full scans are the only access path.
+type Heap struct {
+	pageTarget int64
+	pages      []*Page
+	rows       int64
+	bytes      int64
+}
+
+// NewHeap returns an empty heap with the given target page size in bytes;
+// zero or negative selects DefaultPageBytes.
+func NewHeap(pageTargetBytes int64) *Heap {
+	if pageTargetBytes <= 0 {
+		pageTargetBytes = DefaultPageBytes
+	}
+	return &Heap{pageTarget: pageTargetBytes}
+}
+
+// Append adds a row to the heap, starting a new page when the current one
+// reaches the target size.
+func (h *Heap) Append(row expr.Row) {
+	rb := row.Bytes()
+	n := len(h.pages)
+	if n == 0 || h.pages[n-1].Bytes+rb > h.pageTarget {
+		h.pages = append(h.pages, &Page{})
+		n++
+	}
+	p := h.pages[n-1]
+	p.Rows = append(p.Rows, row)
+	p.Bytes += rb
+	h.rows++
+	h.bytes += rb
+}
+
+// NumPages returns the page count.
+func (h *Heap) NumPages() int { return len(h.pages) }
+
+// NumRows returns the row count.
+func (h *Heap) NumRows() int64 { return h.rows }
+
+// Bytes returns the estimated total storage footprint.
+func (h *Heap) Bytes() int64 { return h.bytes }
+
+// Page returns page i. It panics on out-of-range access.
+func (h *Heap) Page(i int) *Page {
+	if i < 0 || i >= len(h.pages) {
+		panic(fmt.Sprintf("storage: page %d out of range [0,%d)", i, len(h.pages)))
+	}
+	return h.pages[i]
+}
+
+// PageTarget returns the configured target page size.
+func (h *Heap) PageTarget() int64 { return h.pageTarget }

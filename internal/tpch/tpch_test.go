@@ -1,0 +1,256 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/mqo"
+)
+
+func loadAll(t testing.TB, sf float64) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.NewCatalog()
+	NewGenerator(sf, 42).Load(cat)
+	return cat
+}
+
+func TestCardinalities(t *testing.T) {
+	cat := loadAll(t, 0.01)
+	cases := []struct {
+		table string
+		want  int64
+	}{
+		{Region, 5},
+		{Nation, 25},
+		{Supplier, 100},
+		{Customer, 1500},
+		{Orders, 15000},
+		{Part, 2000},
+		{PartSupp, 8000},
+	}
+	for _, c := range cases {
+		got := cat.MustTable(c.table).Heap.NumRows()
+		if got != c.want {
+			t.Errorf("%s rows = %d, want %d", c.table, got, c.want)
+		}
+	}
+	// Lineitem has 1..7 lines per order, ≈4 on average.
+	li := cat.MustTable(Lineitem).Heap.NumRows()
+	if li < 45000 || li > 75000 {
+		t.Errorf("lineitem rows = %d, want ≈60000", li)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := loadAll(t, 0.001)
+	b := loadAll(t, 0.001)
+	ta, tb := a.MustTable(Lineitem), b.MustTable(Lineitem)
+	if ta.Heap.NumRows() != tb.Heap.NumRows() {
+		t.Fatal("same seed produced different row counts")
+	}
+	ra := ta.Heap.Page(0).Rows[0]
+	rb := tb.Heap.Page(0).Rows[0]
+	for i := range ra {
+		if expr.Compare(ra[i], rb[i]) != 0 {
+			t.Fatalf("same seed produced different first rows: %v vs %v", ra, rb)
+		}
+	}
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	cat := loadAll(t, 0.005)
+	nCust := cat.MustTable(Customer).Heap.NumRows()
+	nSupp := cat.MustTable(Supplier).Heap.NumRows()
+	nOrders := cat.MustTable(Orders).Heap.NumRows()
+
+	ot := cat.MustTable(Orders)
+	ck := ot.Schema.MustIndex("o_custkey")
+	for p := 0; p < ot.Heap.NumPages(); p++ {
+		for _, row := range ot.Heap.Page(p).Rows {
+			if row[ck].I < 1 || row[ck].I > nCust {
+				t.Fatalf("o_custkey %d out of [1,%d]", row[ck].I, nCust)
+			}
+		}
+	}
+	lt := cat.MustTable(Lineitem)
+	ok := lt.Schema.MustIndex("l_orderkey")
+	sk := lt.Schema.MustIndex("l_suppkey")
+	for p := 0; p < lt.Heap.NumPages(); p++ {
+		for _, row := range lt.Heap.Page(p).Rows {
+			if row[ok].I < 1 || row[ok].I > nOrders {
+				t.Fatalf("l_orderkey %d out of range", row[ok].I)
+			}
+			if row[sk].I < 1 || row[sk].I > nSupp {
+				t.Fatalf("l_suppkey %d out of range", row[sk].I)
+			}
+		}
+	}
+}
+
+func TestNationRegionAssignments(t *testing.T) {
+	cat := loadAll(t, 0.001)
+	nt := cat.MustTable(Nation)
+	if nt.Heap.NumRows() != 25 {
+		t.Fatal("nation must have 25 rows")
+	}
+	counts := map[int64]int{}
+	for p := 0; p < nt.Heap.NumPages(); p++ {
+		for _, row := range nt.Heap.Page(p).Rows {
+			rk := row[nt.Schema.MustIndex("n_regionkey")].I
+			if rk < 0 || rk > 4 {
+				t.Fatalf("n_regionkey %d out of range", rk)
+			}
+			counts[rk]++
+		}
+	}
+	for r := int64(0); r < 5; r++ {
+		if counts[r] != 5 {
+			t.Fatalf("region %d has %d nations, want 5", r, counts[r])
+		}
+	}
+}
+
+func TestQuantityUniform(t *testing.T) {
+	cat := loadAll(t, 0.02)
+	lt := cat.MustTable(Lineitem)
+	q := lt.Schema.MustIndex("l_quantity")
+	counts := make(map[int64]int)
+	total := 0
+	for p := 0; p < lt.Heap.NumPages(); p++ {
+		for _, row := range lt.Heap.Page(p).Rows {
+			v := row[q].I
+			if v < 1 || v > 50 {
+				t.Fatalf("l_quantity %d outside 1..50", v)
+			}
+			counts[v]++
+			total++
+		}
+	}
+	// Each value ≈2% of rows (the paper's per-query selectivity).
+	want := float64(total) / 50
+	for v := int64(1); v <= 50; v++ {
+		if math.Abs(float64(counts[v])-want) > 0.25*want {
+			t.Fatalf("l_quantity=%d count %d deviates >25%% from uniform %v", v, counts[v], want)
+		}
+	}
+}
+
+func TestOrderDatesInRange(t *testing.T) {
+	cat := loadAll(t, 0.002)
+	ot := cat.MustTable(Orders)
+	d := ot.Schema.MustIndex("o_orderdate")
+	lo, hi := expr.MustParseDate("1992-01-01").I, expr.MustParseDate("1998-08-02").I
+	for p := 0; p < ot.Heap.NumPages(); p++ {
+		for _, row := range ot.Heap.Page(p).Rows {
+			if row[d].I < lo || row[d].I >= hi {
+				t.Fatalf("o_orderdate %v outside TPC-H range", row[d])
+			}
+		}
+	}
+}
+
+func TestPartialLoad(t *testing.T) {
+	cat := catalog.NewCatalog()
+	NewGenerator(0.001, 1).Load(cat, Lineitem)
+	if _, err := cat.Table(Lineitem); err != nil {
+		t.Fatal("lineitem missing after partial load")
+	}
+	if _, err := cat.Table(Orders); err == nil {
+		t.Fatal("orders should not be loaded")
+	}
+}
+
+func TestQ5PlanShape(t *testing.T) {
+	cat := loadAll(t, 0.001)
+	p := Q5(cat, "ASIA", 1994)
+	// Root is a sort over an aggregation over joins.
+	if got := p.Describe(); got != "Sort(revenue desc)" {
+		t.Fatalf("root = %q", got)
+	}
+	agg := p.Children()[0]
+	if agg.Schema().MustIndex("n_name") != 0 {
+		t.Fatal("agg output should start with n_name")
+	}
+	if agg.Schema().MustIndex("revenue") != 1 {
+		t.Fatal("agg output should include revenue")
+	}
+}
+
+func TestQ5BadYearPanics(t *testing.T) {
+	cat := loadAll(t, 0.001)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("year 2001 did not panic")
+		}
+	}()
+	Q5(cat, "ASIA", 2001)
+}
+
+func TestQ5WorkloadParams(t *testing.T) {
+	params := Q5WorkloadParams()
+	if len(params) != 10 {
+		t.Fatalf("workload has %d queries, want 10", len(params))
+	}
+	seen := map[Q5Params]bool{}
+	for _, p := range params {
+		if p.Region != "ASIA" && p.Region != "AMERICA" {
+			t.Fatalf("unexpected region %q", p.Region)
+		}
+		if p.StartYear < 1993 || p.StartYear > 1997 {
+			t.Fatalf("unexpected year %d", p.StartYear)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate params %v (predicates must not overlap)", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestQuantityQueryIsMergeable(t *testing.T) {
+	cat := loadAll(t, 0.001)
+	q := QuantityQuery(cat, 7)
+	sel, ok := mqo.ExtractSelection(q)
+	if !ok {
+		t.Fatal("quantity query should be a mergeable selection")
+	}
+	if sel.Value.I != 7 {
+		t.Fatalf("selection value = %v", sel.Value)
+	}
+}
+
+func TestQuantityWorkloadDistinctPredicates(t *testing.T) {
+	cat := loadAll(t, 0.001)
+	qs := QuantityWorkload(cat, 50)
+	seen := map[int64]bool{}
+	for _, q := range qs {
+		sel, ok := mqo.ExtractSelection(q)
+		if !ok {
+			t.Fatal("workload query not mergeable")
+		}
+		if seen[sel.Value.I] {
+			t.Fatalf("duplicate predicate value %d", sel.Value.I)
+		}
+		seen[sel.Value.I] = true
+	}
+}
+
+func TestQuantityWorkloadBoundsPanics(t *testing.T) {
+	cat := loadAll(t, 0.001)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 51 did not panic")
+		}
+	}()
+	QuantityWorkload(cat, 51)
+}
+
+func TestNewGeneratorValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sf 0 did not panic")
+		}
+	}()
+	NewGenerator(0, 1)
+}

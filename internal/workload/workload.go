@@ -1,0 +1,101 @@
+// Package workload models query streams and their execution accounting:
+// queries arriving with zero think time, executed one at a time (the
+// paper's workload model in §4), with per-query response times measured
+// from batch issue — the accounting QED's Figure 6 uses.
+package workload
+
+import (
+	"fmt"
+
+	"ecodb/internal/engine"
+	"ecodb/internal/plan"
+	"ecodb/internal/sim"
+)
+
+// Query is one statement in a workload.
+type Query struct {
+	ID   string
+	Plan plan.Node
+}
+
+// NewQueries wraps plans with sequential IDs.
+func NewQueries(prefix string, plans []plan.Node) []Query {
+	out := make([]Query, len(plans))
+	for i, p := range plans {
+		out[i] = Query{ID: fmt.Sprintf("%s-%02d", prefix, i+1), Plan: p}
+	}
+	return out
+}
+
+// QueryResult is one query's outcome within a batch run.
+type QueryResult struct {
+	ID string
+	// Start and End are offsets from batch issue; End-Start is this
+	// query's own execution window, End its response time under the
+	// paper's "time starts when the batch is issued" accounting.
+	Start, End sim.Duration
+	Rows       int64
+}
+
+// Response returns the query's response time from batch issue.
+func (q QueryResult) Response() sim.Duration { return q.End }
+
+// RunResult is the outcome of executing a batch of queries.
+type RunResult struct {
+	Total   sim.Duration
+	Queries []QueryResult
+}
+
+// MeanResponse returns the average per-query response time from batch
+// issue — the Y axis of the paper's Figure 6.
+func (r RunResult) MeanResponse() sim.Duration {
+	if len(r.Queries) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, q := range r.Queries {
+		sum += q.Response()
+	}
+	return sum / sim.Duration(len(r.Queries))
+}
+
+// MaxResponse returns the worst per-query response time.
+func (r RunResult) MaxResponse() sim.Duration {
+	var max sim.Duration
+	for _, q := range r.Queries {
+		if q.Response() > max {
+			max = q.Response()
+		}
+	}
+	return max
+}
+
+// TotalRows sums result cardinalities.
+func (r RunResult) TotalRows() int64 {
+	var n int64
+	for _, q := range r.Queries {
+		n += q.Rows
+	}
+	return n
+}
+
+// RunSequential executes the queries back to back on the engine — the
+// traditional evaluation the paper compares QED against: "each query being
+// evaluated individually, and one after the other". Time and energy cost
+// start when the first query is sent.
+func RunSequential(e *engine.Engine, clock *sim.Clock, queries []Query) RunResult {
+	issue := clock.Now()
+	out := RunResult{Queries: make([]QueryResult, 0, len(queries))}
+	for _, q := range queries {
+		start := clock.Now().Sub(issue)
+		_, st := e.Exec(q.Plan)
+		out.Queries = append(out.Queries, QueryResult{
+			ID:    q.ID,
+			Start: start,
+			End:   clock.Now().Sub(issue),
+			Rows:  st.RowsOut,
+		})
+	}
+	out.Total = clock.Now().Sub(issue)
+	return out
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"ecodb/internal/engine"
+	"ecodb/internal/hw/system"
+	"ecodb/internal/sim"
+	"ecodb/internal/tpch"
+)
+
+func testEngine(t testing.TB) (*engine.Engine, *system.Machine) {
+	t.Helper()
+	m := system.NewSUT()
+	e := engine.New(engine.ProfileMySQLMemory(), m)
+	tpch.NewGenerator(0.01, 9).Load(e.Catalog(), tpch.Lineitem)
+	return e, m
+}
+
+func TestNewQueriesIDs(t *testing.T) {
+	e, _ := testEngine(t)
+	qs := NewQueries("sel", tpch.QuantityWorkload(e.Catalog(), 3))
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	if qs[0].ID != "sel-01" || qs[2].ID != "sel-03" {
+		t.Fatalf("IDs = %q, %q", qs[0].ID, qs[2].ID)
+	}
+}
+
+func TestRunSequentialAccounting(t *testing.T) {
+	e, m := testEngine(t)
+	qs := NewQueries("sel", tpch.QuantityWorkload(e.Catalog(), 4))
+	res := RunSequential(e, m.Clock, qs)
+
+	if len(res.Queries) != 4 {
+		t.Fatalf("results for %d queries", len(res.Queries))
+	}
+	// Back-to-back execution: each query starts when the previous ends,
+	// responses measured from batch issue are strictly increasing.
+	for i, q := range res.Queries {
+		if q.End <= q.Start {
+			t.Fatalf("query %d has non-positive window", i)
+		}
+		if i > 0 && q.Start != res.Queries[i-1].End {
+			t.Fatalf("query %d did not start when %d ended", i, i-1)
+		}
+	}
+	if res.Total != res.Queries[3].End {
+		t.Fatal("total must equal last completion")
+	}
+	if res.TotalRows() <= 0 {
+		t.Fatal("no rows counted")
+	}
+}
+
+func TestMeanAndMaxResponse(t *testing.T) {
+	r := RunResult{Queries: []QueryResult{
+		{End: 1 * sim.Second},
+		{End: 2 * sim.Second},
+		{End: 3 * sim.Second},
+	}}
+	if got := r.MeanResponse(); got != 2*sim.Second {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := r.MaxResponse(); got != 3*sim.Second {
+		t.Fatalf("max = %v", got)
+	}
+	var empty RunResult
+	if empty.MeanResponse() != 0 || empty.MaxResponse() != 0 {
+		t.Fatal("empty result should have zero responses")
+	}
+}
+
+// The sequential mean response over n uniform queries approaches
+// (n+1)/2 × t₁ — the baseline the paper's Figure 6 compares QED against.
+func TestSequentialMeanResponseShape(t *testing.T) {
+	e, m := testEngine(t)
+	qs := NewQueries("sel", tpch.QuantityWorkload(e.Catalog(), 10))
+	res := RunSequential(e, m.Clock, qs)
+
+	t1 := res.Queries[0].End.Seconds()
+	mean := res.MeanResponse().Seconds()
+	want := t1 * 5.5 // (10+1)/2
+	if diff := (mean - want) / want; diff > 0.15 || diff < -0.15 {
+		t.Fatalf("mean response %v deviates %.1f%% from (n+1)/2·t1 = %v",
+			mean, diff*100, want)
+	}
+}
