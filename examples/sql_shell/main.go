@@ -43,20 +43,32 @@ func main() {
 			fmt.Println("error:", err)
 			continue
 		}
+		// Stream result batches straight off the executor: rows are
+		// printed as they are produced, never materialized server-side.
 		t0 := m.Clock.Now()
-		res, st := e.Exec(p)
-		energy := m.CPU.Trace().Energy(t0, m.Clock.Now())
-
-		for _, col := range res.Schema.Columns() {
+		rows := e.Query(p)
+		for _, col := range rows.Schema().Columns() {
 			fmt.Printf("%-14s", col.Name)
 		}
 		fmt.Println()
-		for _, row := range res.Rows {
-			for _, v := range row {
-				fmt.Printf("%-14v", v)
+		for {
+			b, err := rows.Next()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
 			}
-			fmt.Println()
+			if b == nil {
+				break
+			}
+			for _, row := range b.Rows {
+				for _, v := range row {
+					fmt.Printf("%-14v", v)
+				}
+				fmt.Println()
+			}
 		}
+		st := rows.Stats()
+		energy := m.CPU.Trace().Energy(t0, m.Clock.Now())
 		fmt.Printf("(%d rows, %v simulated, %.2f J CPU)\n\n", st.RowsOut, st.Duration, float64(energy))
 	}
 }

@@ -1,0 +1,3 @@
+module ecodb
+
+go 1.24

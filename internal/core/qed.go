@@ -79,14 +79,29 @@ func (q *QED) RunBatch(queries []workload.Query) workload.RunResult {
 	clock := q.Sys.Machine.Clock
 	issue := clock.Now()
 
-	// One aggregated query against the DBMS.
-	res, _ := q.Sys.Engine.Exec(merged.Plan)
+	// One aggregated query against the DBMS, streamed batch by batch into
+	// the application-side splitter — the merged mega-result is routed as
+	// it arrives instead of being materialized twice.
+	rows := q.Sys.Engine.Query(merged.Plan)
+	split := merged.NewSplitter()
+	for {
+		b, err := rows.Next()
+		if err != nil {
+			// No operator errors exist today; a partial split would
+			// silently corrupt the measurement, so fail loudly.
+			panic(fmt.Sprintf("core: merged query failed mid-stream: %v", err))
+		}
+		if b == nil {
+			break
+		}
+		split.Add(b.Rows)
+	}
 
-	// Application-side split, charged to the same machine's CPU (the
-	// paper's client runs on the SUT): routing materialized rows is
+	// Application-side split cost, charged to the same machine's CPU (the
+	// paper's client runs on the SUT): routing result rows is
 	// single-threaded, cache-missing object traversal, amplified like all
 	// per-row work.
-	perQuery, clientCycles := merged.Split(res.Rows)
+	perQuery, clientCycles := split.Finish()
 	cpuModel := q.Sys.Machine.CPU
 	cpuModel.SetParallelism(1)
 	cpuModel.Run(clientCycles*q.Sys.Engine.Profile().Amplification(), cpu.MemStall)

@@ -124,23 +124,46 @@ func (e *Engine) ColdStart() {
 	}
 }
 
-// Exec runs a plan to completion, charging all work and I/O to the
-// machine, and returns the materialized result with execution statistics.
-func (e *Engine) Exec(p plan.Node) (*Result, ExecStats) {
+// Rows is a streaming query result: an iterator over batches produced by
+// the vectorized executor. Consumers pull batches with Next; each batch is
+// valid until the following Next call. Statistics (and the trailing result-
+// path cost accounting) are finalized when the stream is exhausted or
+// closed — Close drains any unconsumed input first, because the simulated
+// engines under study never terminate a statement early.
+type Rows struct {
+	e   *Engine
+	op  exec.Operator
+	ctx *exec.Ctx
+
+	start      sim.Time
+	poolBefore storage.PoolStats
+	rowsOut    int64
+	bytesOut   int64
+	stats      ExecStats
+	finished   bool
+}
+
+// Query starts executing a plan and returns a streaming result iterator.
+// Statement overhead is charged up front; per-batch work is charged as the
+// consumer pulls. The old fully-materialized Exec is a thin wrapper over
+// this.
+func (e *Engine) Query(p plan.Node) *Rows {
 	c := e.mach.CPUModel()
 	c.SetParallelism(e.prof.Parallelism)
+	// The machine is single-threaded between pulls: parallelism is raised
+	// only while executor work runs (here and inside Next), so an
+	// abandoned iterator can never leave the shared CPU misconfigured.
 	defer c.SetParallelism(1)
 
-	start := c.Clock().Now()
-	var poolBefore storage.PoolStats
+	r := &Rows{e: e, start: c.Clock().Now()}
 	if e.pool != nil {
-		poolBefore = e.pool.Stats()
+		r.poolBefore = e.pool.Stats()
 	}
 
 	// Statement overhead: parse, optimize, round trip.
 	c.Run(e.prof.QueryOverheadCycles, cpu.Compute)
 
-	ctx := &exec.Ctx{CPU: c, Pool: e.pool, Cost: e.prof.Cost, Amplify: e.prof.Amplification()}
+	ctx := &exec.Ctx{CPU: c, Pool: e.pool, Cost: e.prof.Cost, Amplify: e.prof.Amplification(), BatchSize: e.prof.BatchSize}
 	if e.prof.BGIOProbPerPage > 0 && !e.prof.MemoryEngine {
 		// Amplified page counts mean amplified background traffic.
 		prob := e.prof.BGIOProbPerPage * e.prof.Amplification()
@@ -150,37 +173,112 @@ func (e *Engine) Exec(p plan.Node) (*Result, ExecStats) {
 			}
 		}
 	}
+	r.ctx = ctx
+	r.op = exec.Compile(p)
+	if err := r.op.Open(ctx); err != nil {
+		// No operator errors today; finalize so the iterator is inert.
+		r.finish()
+	}
+	return r
+}
 
-	op := exec.Compile(p)
-	res := &Result{Schema: op.Schema()}
-	var bytesOut int64
-	op.Run(ctx, func(row expr.Row) {
-		res.Rows = append(res.Rows, row)
-		bytesOut += row.Bytes()
-	})
+// Schema describes the result rows.
+func (r *Rows) Schema() *catalog.Schema { return r.op.Schema() }
 
-	// Result path: server-side materialization/wire cost, then the client
-	// (hosted on the same machine, as the paper's JDBC client was)
-	// receives the rows, paying collector pressure that grows with the
-	// materialized result size.
-	n := float64(len(res.Rows))
+// Next returns the next result batch, or nil when the stream is exhausted.
+// The batch is owned by the executor and valid until the following call;
+// its Row values may be retained.
+func (r *Rows) Next() (*expr.Batch, error) {
+	if r.finished {
+		return nil, nil
+	}
+	c := r.e.mach.CPUModel()
+	c.SetParallelism(r.e.prof.Parallelism)
+	defer c.SetParallelism(1)
+	b, err := r.op.Next(r.ctx)
+	if err != nil {
+		r.finish()
+		return nil, err
+	}
+	if b == nil {
+		r.finish()
+		return nil, nil
+	}
+	r.rowsOut += int64(b.Len())
+	for _, row := range b.Rows {
+		r.bytesOut += row.Bytes()
+	}
+	return b, nil
+}
+
+// Close drains any remaining batches (completing the statement's simulated
+// work) and finalizes statistics. It is idempotent.
+func (r *Rows) Close() error {
+	for !r.finished {
+		if _, err := r.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the execution statistics; it drains and closes the stream
+// first if the consumer has not.
+func (r *Rows) Stats() ExecStats {
+	r.Close()
+	return r.stats
+}
+
+// finish charges the result path — server-side materialization/wire cost,
+// then the client (hosted on the same machine, as the paper's JDBC client
+// was) receives the rows, paying collector pressure that grows with the
+// result size — and freezes the statistics.
+func (r *Rows) finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.op.Close(r.ctx)
+
+	e, ctx := r.e, r.ctx
+	n := float64(r.rowsOut)
 	ctx.Charge(cpu.Stream, e.prof.Cost.ResultRowCycles*n)
-	ctx.Charge(cpu.Stream, e.prof.Cost.ResultKBCycles*float64(bytesOut)/1024)
+	ctx.Charge(cpu.Stream, e.prof.Cost.ResultKBCycles*float64(r.bytesOut)/1024)
 	gc := e.prof.Cost.ClientRowFactor(n * e.prof.Amplification())
 	ctx.Charge(cpu.MemStall, e.prof.Cost.ClientRowCycles*n*gc)
 	ctx.Flush()
 
-	st := ExecStats{
-		Duration: c.Clock().Now().Sub(start),
-		RowsOut:  int64(len(res.Rows)),
-		BytesOut: bytesOut,
+	c := e.mach.CPUModel()
+	c.SetParallelism(1)
+	r.stats = ExecStats{
+		Duration: c.Clock().Now().Sub(r.start),
+		RowsOut:  r.rowsOut,
+		BytesOut: r.bytesOut,
 	}
 	if e.pool != nil {
 		after := e.pool.Stats()
-		st.PoolHits = after.Hits - poolBefore.Hits
-		st.PoolMisses = after.Misses - poolBefore.Misses
+		r.stats.PoolHits = after.Hits - r.poolBefore.Hits
+		r.stats.PoolMisses = after.Misses - r.poolBefore.Misses
 	}
-	return res, st
+}
+
+// Exec runs a plan to completion, charging all work and I/O to the
+// machine, and returns the materialized result with execution statistics.
+// It is a thin wrapper over the streaming Query iterator.
+func (e *Engine) Exec(p plan.Node) (*Result, ExecStats) {
+	rows := e.Query(p)
+	res := &Result{Schema: rows.Schema()}
+	for {
+		b, err := rows.Next()
+		if err != nil {
+			panic(fmt.Sprintf("engine: executor error: %v", err))
+		}
+		if b == nil {
+			break
+		}
+		res.Rows = append(res.Rows, b.Rows...)
+	}
+	return res, rows.Stats()
 }
 
 // MustTable is a convenience lookup used by workload builders.

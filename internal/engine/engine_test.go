@@ -216,3 +216,83 @@ func TestProfilePresets(t *testing.T) {
 // plan import is exercised via tpch plans; keep a direct use for clarity.
 var _ plan.Node = (*plan.Scan)(nil)
 var _ = expr.Int
+
+// --- streaming Query API ---
+
+func TestQueryStreamMatchesExec(t *testing.T) {
+	e1, _ := newEngine(t, ProfileMySQLMemory(), 0.01)
+	e2, _ := newEngine(t, ProfileMySQLMemory(), 0.01)
+
+	res, st := e1.Exec(tpch.Q5(e1.Catalog(), "ASIA", 1994))
+
+	rows := e2.Query(tpch.Q5(e2.Catalog(), "ASIA", 1994))
+	var streamed []expr.Row
+	for {
+		b, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		streamed = append(streamed, b.Rows...)
+	}
+	stStream := rows.Stats()
+
+	if len(streamed) != len(res.Rows) {
+		t.Fatalf("streamed %d rows, materialized %d", len(streamed), len(res.Rows))
+	}
+	for i := range streamed {
+		if streamed[i][0].S != res.Rows[i][0].S || streamed[i][1].F != res.Rows[i][1].F {
+			t.Fatalf("row %d differs: %v vs %v", i, streamed[i], res.Rows[i])
+		}
+	}
+	// Identical engines on identical machines: streaming must charge the
+	// exact same simulated duration and produce the same stats.
+	if stStream.Duration != st.Duration || stStream.RowsOut != st.RowsOut || stStream.BytesOut != st.BytesOut {
+		t.Fatalf("stats differ: stream %+v vs exec %+v", stStream, st)
+	}
+}
+
+func TestQueryStatsDrainsUnconsumedStream(t *testing.T) {
+	e1, _ := newEngine(t, ProfileMySQLMemory(), 0.01)
+	e2, _ := newEngine(t, ProfileMySQLMemory(), 0.01)
+
+	_, st := e1.Exec(tpch.QuantityQuery(e1.Catalog(), 25))
+
+	// Abandoning the stream must still complete the statement's simulated
+	// work: the engines under study never terminate a query early.
+	rows := e2.Query(tpch.QuantityQuery(e2.Catalog(), 25))
+	stStream := rows.Stats()
+	if stStream.Duration != st.Duration || stStream.RowsOut != st.RowsOut {
+		t.Fatalf("abandoned stream stats %+v differ from exec %+v", stStream, st)
+	}
+}
+
+func TestQueryCloseIdempotent(t *testing.T) {
+	e, _ := newEngine(t, ProfileMySQLMemory(), 0.005)
+	rows := e.Query(tpch.QuantityQuery(e.Catalog(), 1))
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := rows.Next(); b != nil || err != nil {
+		t.Fatal("Next after Close should report end of stream")
+	}
+	if rows.Stats().RowsOut == 0 {
+		t.Fatal("closed stream should still account all rows")
+	}
+}
+
+func TestQueryParallelismRestored(t *testing.T) {
+	e, m := newEngine(t, ProfileCommercial(), 0.005)
+	e.WarmAll()
+	e.Query(tpch.QuantityQuery(e.Catalog(), 1)).Close()
+	d := m.CPU.Run(1e9, 0)
+	want := 1e9 / (3.1667e9)
+	if diff := d.Seconds() - want; diff > 1e-3 || diff < -1e-3 {
+		t.Fatalf("parallelism not restored after streaming query: run took %v", d)
+	}
+}

@@ -40,6 +40,10 @@ type Profile struct {
 	// paper's cold run was ≈3× slower overall (§3.5). Zero disables
 	// fragmentation.
 	ExtentBytes int64
+	// BatchSize is the executor's target rows per batch; zero selects
+	// expr.DefaultBatchCapacity. It changes real wall-clock behaviour
+	// only — simulated time and energy are batch-size invariant.
+	BatchSize int
 	// WorkAmplification scales all per-row CPU work and all disk read
 	// volume (default 1 when zero). Running a scale-factor-s dataset
 	// with amplification 1/s emulates the paper's full-scale absolute

@@ -85,7 +85,19 @@ type Ctx struct {
 	// commercial system even with a warm cache.
 	PageHook func()
 
+	// BatchSize is the target rows per execution batch; zero selects
+	// expr.DefaultBatchCapacity.
+	BatchSize int
+
 	acc [3]float64 // indexed by cpu.WorkKind
+}
+
+// BatchTarget returns the effective rows-per-batch target.
+func (c *Ctx) BatchTarget() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return expr.DefaultBatchCapacity
 }
 
 func (c *Ctx) amp() float64 {

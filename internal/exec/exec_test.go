@@ -50,7 +50,12 @@ func numbersTable(t *testing.T, name string, n int) *catalog.Table {
 func collect(t *testing.T, op Operator, ctx *Ctx) []expr.Row {
 	t.Helper()
 	var rows []expr.Row
-	op.Run(ctx, func(r expr.Row) { rows = append(rows, r) })
+	if err := Drain(ctx, op, func(b *expr.Batch) error {
+		rows = append(rows, b.Rows...)
+		return nil
+	}); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 	return rows
 }
 
@@ -293,4 +298,105 @@ func TestCompileUnknownNodePanics(t *testing.T) {
 		}
 	}()
 	Compile(nil)
+}
+
+// --- batch-pipeline semantics ---
+
+func TestScanBatchesArePageGranular(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 3000)
+	op := Compile(plan.NewScan(tb, nil))
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close(ctx)
+	var total int
+	batches := 0
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		batches++
+		total += b.Len()
+	}
+	if total != 3000 {
+		t.Fatalf("scanned %d rows", total)
+	}
+	if batches != tb.Heap.NumPages() {
+		t.Fatalf("got %d batches, want one per page (%d)", batches, tb.Heap.NumPages())
+	}
+}
+
+func TestScanReusesBatch(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 1000)
+	op := Compile(plan.NewScan(tb, nil))
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close(ctx)
+	b1, _ := op.Next(ctx)
+	b2, _ := op.Next(ctx)
+	if b1 == nil || b2 == nil {
+		t.Fatal("expected at least two batches")
+	}
+	if b1 != b2 {
+		t.Fatal("scan should recycle its output batch across Next calls")
+	}
+}
+
+func TestLimitStillRunsInputToCompletion(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 2000)
+	var pages int
+	ctx.PageHook = func() { pages++ }
+	rows := collect(t, Compile(plan.NewLimit(plan.NewScan(tb, nil), 3)), ctx)
+	if len(rows) != 3 {
+		t.Fatalf("limit emitted %d rows", len(rows))
+	}
+	if pages != tb.Heap.NumPages() {
+		t.Fatalf("limit scanned %d pages, want the full heap (%d): no early termination", pages, tb.Heap.NumPages())
+	}
+	// The final limited batch must survive the input drain.
+	if rows[0][0].I != 0 || rows[2][0].I != 2 {
+		t.Fatalf("limited rows corrupted by input drain: %v", rows)
+	}
+}
+
+func TestBatchAndRowExecutionAgree(t *testing.T) {
+	// The vectorized pipeline and naive row-at-a-time evaluation of the
+	// same plan must produce identical rows and identical charged cycles.
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 500)
+	pred := expr.Cmp{Op: expr.LT, L: tb.Schema.Col("k"), R: expr.Const{V: expr.Int(100)}}
+
+	rows := collect(t, Compile(plan.NewScan(tb, pred)), ctx)
+
+	var want []expr.Row
+	var rowMeter, batchMeter expr.Cost
+	heap := tb.Heap
+	for i := 0; i < heap.NumPages(); i++ {
+		for _, r := range heap.Page(i).Rows {
+			if pred.Eval(r, &rowMeter).Truthy() {
+				want = append(want, r)
+			}
+		}
+		out := expr.NewBatch(0)
+		expr.FilterBatch(pred, heap.Page(i).Rows, out, &batchMeter)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("batch path %d rows, row path %d", len(rows), len(want))
+	}
+	for i := range rows {
+		if rows[i][0].I != want[i][0].I || rows[i][1].I != want[i][1].I {
+			t.Fatalf("row %d differs: %v vs %v", i, rows[i], want[i])
+		}
+	}
+	if rowMeter.Cycles != batchMeter.Cycles {
+		t.Fatalf("charged cycles differ: row %v vs batch %v", rowMeter.Cycles, batchMeter.Cycles)
+	}
 }

@@ -13,11 +13,47 @@ import (
 	"ecodb/internal/storage"
 )
 
-// Operator is a compiled physical operator. Run pushes output rows into
-// emit; operators charge their work to the context as they go.
+// Operator is a compiled physical operator in the vectorized pull pipeline.
+// The driver calls Open once, Next until it returns nil, then Close.
+// Operators charge their work to the context batch-at-a-time as they go.
 type Operator interface {
 	Schema() *catalog.Schema
-	Run(ctx *Ctx, emit func(expr.Row))
+	// Open prepares the operator and its inputs. Blocking phases (hash
+	// build) run here.
+	Open(ctx *Ctx) error
+	// Next returns the next batch of output rows, or nil at end of
+	// stream. The returned batch is owned by the operator and valid only
+	// until the following Next call; the Row values inside it are
+	// immutable and may be retained.
+	Next(ctx *Ctx) (*expr.Batch, error)
+	// Close releases operator state. It is idempotent.
+	Close(ctx *Ctx) error
+}
+
+// Drain runs op to completion — Open, Next until exhausted, Close —
+// invoking fn (when non-nil) on every batch. It is the canonical driver
+// loop for callers that do not need incremental pulls.
+func Drain(ctx *Ctx, op Operator, fn func(*expr.Batch) error) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if fn != nil {
+			if err := fn(b); err != nil {
+				op.Close(ctx)
+				return err
+			}
+		}
+	}
+	return op.Close(ctx)
 }
 
 // Compile lowers a logical plan to physical operators. Unknown node types
@@ -47,131 +83,249 @@ func Compile(n plan.Node) Operator {
 	}
 }
 
-// scanOp reads a heap page by page, touching the buffer pool (misses become
+// scanOp reads a heap page by page through the buffer pool (misses become
 // simulated disk reads), charging stream work for page bytes and per-tuple
-// interpretation costs, and applying its filter.
+// interpretation costs once per page, and filtering each page's rows with
+// the batch-wise evaluator. Output batches are page-granular (see Next).
 type scanOp struct {
 	table  *catalog.Table
 	filter expr.Expr
+
+	scan  *storage.PageScan
+	raw   *expr.Batch // one page's unfiltered rows (filtered scans only)
+	out   *expr.Batch
+	meter expr.Cost
 }
 
 func (s *scanOp) Schema() *catalog.Schema { return s.table.Schema }
 
-func (s *scanOp) Run(ctx *Ctx, emit func(expr.Row)) {
-	heap := s.table.Heap
-	var meter expr.Cost
-	for i := 0; i < heap.NumPages(); i++ {
-		page := heap.Page(i)
-		if ctx.Pool != nil {
-			ctx.Pool.Access(storage.PageID{Table: s.table.Name, Index: i}, page.Bytes)
+func (s *scanOp) Open(ctx *Ctx) error {
+	s.scan = storage.NewPageScan(s.table.Heap, s.table.Name, ctx.Pool)
+	if s.filter != nil {
+		s.raw = expr.NewBatch(ctx.BatchTarget())
+	}
+	s.out = expr.NewBatch(ctx.BatchTarget())
+	return nil
+}
+
+// Next surfaces pages until the output batch is non-empty, charging page
+// costs as it goes. Batches are page-granular (a batch never spans a page
+// boundary) and the accumulated work is flushed to the CPU at the top of
+// each page step — by which point downstream operators have charged their
+// work for the previous batch — so every flushed power-trace window holds
+// one page's worth of whole-pipeline work, exactly as the row-at-a-time
+// engine's page loop produced it. The 1 Hz GUI-sampled energies of the
+// paper's methodology depend on that microstructure; batch sizes above a
+// page's row count would change it. Pages hold ~10²–10³ rows, plenty to
+// amortize per-batch overhead.
+func (s *scanOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	s.out.Reset()
+	for s.out.Len() == 0 {
+		ctx.Flush() // close the previous page's pipeline-wide cost window
+		dst := s.out // filterless scans read pages straight into the output
+		if s.filter != nil {
+			s.raw.Reset()
+			dst = s.raw
+		}
+		bytes, nRows, ok := s.scan.ReadInto(dst)
+		if !ok {
+			break
 		}
 		if ctx.PageHook != nil {
 			ctx.PageHook()
 		}
-		ctx.Charge(cpu.Stream, ctx.Cost.PageStreamCyclesPerKB*float64(page.Bytes)/1024)
-		nRows := float64(len(page.Rows))
-		ctx.Charge(cpu.Compute, ctx.Cost.ScanTupleCycles*nRows)
-		ctx.Charge(cpu.MemStall, ctx.Cost.ScanTupleStallCycles*nRows)
-		for _, row := range page.Rows {
-			if s.filter != nil && !s.filter.Eval(row, &meter).Truthy() {
-				continue
-			}
-			emit(row)
+		ctx.Charge(cpu.Stream, ctx.Cost.PageStreamCyclesPerKB*float64(bytes)/1024)
+		ctx.Charge(cpu.Compute, ctx.Cost.ScanTupleCycles*float64(nRows))
+		ctx.Charge(cpu.MemStall, ctx.Cost.ScanTupleStallCycles*float64(nRows))
+		if s.filter != nil {
+			expr.FilterBatch(s.filter, s.raw.Rows, s.out, &s.meter)
+			ctx.ChargeExpr(&s.meter)
 		}
-		ctx.ChargeExpr(&meter)
-		ctx.Flush()
 	}
+	if s.out.Len() == 0 {
+		return nil, nil
+	}
+	return s.out, nil
 }
 
-// filterOp drops rows failing the predicate.
+func (s *scanOp) Close(*Ctx) error {
+	s.scan, s.raw, s.out = nil, nil, nil
+	return nil
+}
+
+// filterOp drops rows failing the predicate, one input batch at a time.
 type filterOp struct {
 	input Operator
 	pred  expr.Expr
+
+	out   *expr.Batch
+	meter expr.Cost
 }
 
 func (f *filterOp) Schema() *catalog.Schema { return f.input.Schema() }
 
-func (f *filterOp) Run(ctx *Ctx, emit func(expr.Row)) {
-	var meter expr.Cost
-	f.input.Run(ctx, func(row expr.Row) {
-		ok := f.pred.Eval(row, &meter).Truthy()
-		ctx.ChargeExpr(&meter)
-		if ok {
-			emit(row)
+func (f *filterOp) Open(ctx *Ctx) error {
+	f.out = expr.NewBatch(ctx.BatchTarget())
+	return f.input.Open(ctx)
+}
+
+func (f *filterOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	for {
+		in, err := f.input.Next(ctx)
+		if err != nil || in == nil {
+			return nil, err
 		}
-	})
+		f.out.Reset()
+		expr.FilterBatch(f.pred, in.Rows, f.out, &f.meter)
+		ctx.ChargeExpr(&f.meter)
+		if f.out.Len() > 0 {
+			return f.out, nil
+		}
+	}
+}
+
+func (f *filterOp) Close(ctx *Ctx) error {
+	f.out = nil
+	return f.input.Close(ctx)
 }
 
 // hashJoinOp materializes the build side into a hash table keyed on a
-// single column, then streams the probe side. Output rows are
-// buildRow ++ probeRow; an optional residual predicate filters matches.
+// single column during Open, then streams the probe side batch by batch.
+// Output rows are buildRow ++ probeRow; an optional residual predicate
+// filters matches.
 type hashJoinOp struct {
 	build, probe       Operator
 	buildKey, probeKey int
 	residual           expr.Expr
 	schema             *catalog.Schema
+
+	table map[expr.Value][]expr.Row
+	out   *expr.Batch
+	meter expr.Cost
 }
 
 func (j *hashJoinOp) Schema() *catalog.Schema { return j.schema }
 
-func (j *hashJoinOp) Run(ctx *Ctx, emit func(expr.Row)) {
-	// Build phase.
-	table := make(map[expr.Value][]expr.Row)
-	j.build.Run(ctx, func(row expr.Row) {
-		k := row[j.buildKey]
-		table[k] = append(table[k], row)
-		ctx.Charge(cpu.Compute, ctx.Cost.BuildCycles)
-		ctx.Charge(cpu.MemStall, ctx.Cost.BuildStallCycles)
-	})
+func (j *hashJoinOp) Open(ctx *Ctx) error {
+	j.out = expr.NewBatch(ctx.BatchTarget())
+	j.table = make(map[expr.Value][]expr.Row)
+	if err := j.build.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		b, err := j.build.Next(ctx)
+		if err != nil {
+			j.build.Close(ctx)
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, row := range b.Rows {
+			k := row[j.buildKey]
+			j.table[k] = append(j.table[k], row)
+		}
+		n := float64(b.Len())
+		ctx.Charge(cpu.Compute, ctx.Cost.BuildCycles*n)
+		ctx.Charge(cpu.MemStall, ctx.Cost.BuildStallCycles*n)
+	}
+	if err := j.build.Close(ctx); err != nil {
+		return err
+	}
 	ctx.Flush()
-
-	// Probe phase.
-	var meter expr.Cost
-	buildWidth := j.build.Schema().NumCols()
-	probeWidth := j.probe.Schema().NumCols()
-	j.probe.Run(ctx, func(row expr.Row) {
-		ctx.Charge(cpu.Compute, ctx.Cost.ProbeCycles)
-		ctx.Charge(cpu.MemStall, ctx.Cost.ProbeStallCycles)
-		matches, ok := table[row[j.probeKey]]
-		if !ok {
-			return
-		}
-		for _, b := range matches {
-			out := make(expr.Row, 0, buildWidth+probeWidth)
-			out = append(out, b...)
-			out = append(out, row...)
-			ctx.Charge(cpu.Compute, ctx.Cost.MatchCycles)
-			if j.residual != nil {
-				keep := j.residual.Eval(out, &meter).Truthy()
-				ctx.ChargeExpr(&meter)
-				if !keep {
-					continue
-				}
-			}
-			emit(out)
-		}
-	})
+	return j.probe.Open(ctx)
 }
 
-// projectOp computes output expressions per row.
+func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	buildWidth := j.build.Schema().NumCols()
+	probeWidth := j.probe.Schema().NumCols()
+	for {
+		in, err := j.probe.Next(ctx)
+		if err != nil || in == nil {
+			return nil, err
+		}
+		ctx.Charge(cpu.Compute, ctx.Cost.ProbeCycles*float64(in.Len()))
+		ctx.Charge(cpu.MemStall, ctx.Cost.ProbeStallCycles*float64(in.Len()))
+		j.out.Reset()
+		matches := 0
+		for _, row := range in.Rows {
+			hits, ok := j.table[row[j.probeKey]]
+			if !ok {
+				continue
+			}
+			for _, b := range hits {
+				matches++
+				out := make(expr.Row, 0, buildWidth+probeWidth)
+				out = append(out, b...)
+				out = append(out, row...)
+				if j.residual != nil && !j.residual.Eval(out, &j.meter).Truthy() {
+					continue
+				}
+				j.out.Append(out)
+			}
+		}
+		ctx.Charge(cpu.Compute, ctx.Cost.MatchCycles*float64(matches))
+		ctx.ChargeExpr(&j.meter)
+		if j.out.Len() > 0 {
+			return j.out, nil
+		}
+	}
+}
+
+func (j *hashJoinOp) Close(ctx *Ctx) error {
+	j.table, j.out = nil, nil
+	return j.probe.Close(ctx)
+}
+
+// projectOp computes output expressions column-at-a-time over each input
+// batch, packing the output rows into one backing allocation per batch.
 type projectOp struct {
 	input  Operator
 	exprs  []expr.Expr
 	schema *catalog.Schema
+
+	out   *expr.Batch
+	cols  [][]expr.Value // scratch: one value column per expression
+	meter expr.Cost
 }
 
 func (p *projectOp) Schema() *catalog.Schema { return p.schema }
 
-func (p *projectOp) Run(ctx *Ctx, emit func(expr.Row)) {
-	var meter expr.Cost
-	p.input.Run(ctx, func(row expr.Row) {
-		out := make(expr.Row, len(p.exprs))
-		for i, e := range p.exprs {
-			out[i] = e.Eval(row, &meter)
+func (p *projectOp) Open(ctx *Ctx) error {
+	p.out = expr.NewBatch(ctx.BatchTarget())
+	p.cols = make([][]expr.Value, len(p.exprs))
+	return p.input.Open(ctx)
+}
+
+func (p *projectOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	in, err := p.input.Next(ctx)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	for i, e := range p.exprs {
+		p.cols[i] = expr.EvalBatch(e, in.Rows, p.cols[i][:0], &p.meter)
+	}
+	ctx.ChargeExpr(&p.meter)
+
+	// Assemble rows from the evaluated columns. The backing array is
+	// freshly allocated per batch because output rows may be retained
+	// downstream (sort buffers, materialized results).
+	n, width := in.Len(), len(p.exprs)
+	backing := make([]expr.Value, n*width)
+	p.out.Reset()
+	for r := 0; r < n; r++ {
+		row := backing[r*width : (r+1)*width : (r+1)*width]
+		for c := range p.cols {
+			row[c] = p.cols[c][r]
 		}
-		ctx.ChargeExpr(&meter)
-		emit(out)
-	})
+		p.out.Append(expr.Row(row))
+	}
+	return p.out, nil
+}
+
+func (p *projectOp) Close(ctx *Ctx) error {
+	p.out, p.cols = nil, nil
+	return p.input.Close(ctx)
 }
 
 // aggState accumulates one group.
@@ -184,73 +338,107 @@ type aggState struct {
 	seen      []bool
 }
 
-// aggOp is a hash aggregation over single- or multi-column groups.
+// aggOp is a hash aggregation over single- or multi-column groups. It
+// consumes its whole input on the first Next, then serves the grouped
+// output in batches.
 type aggOp struct {
 	input   Operator
 	groupBy []int
 	aggs    []plan.AggSpec
 	schema  *catalog.Schema
+
+	results []expr.Row
+	pos     int
+	started bool
+	out     expr.Batch
 }
 
 func (a *aggOp) Schema() *catalog.Schema { return a.schema }
 
-func (a *aggOp) Run(ctx *Ctx, emit func(expr.Row)) {
+func (a *aggOp) Open(ctx *Ctx) error {
+	a.results, a.pos, a.started = nil, 0, false
+	return a.input.Open(ctx)
+}
+
+func (a *aggOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	if !a.started {
+		a.started = true
+		if err := a.consume(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return serveBuffered(ctx, a.results, &a.pos, &a.out), nil
+}
+
+// consume drains the input, grouping rows and folding aggregates, then
+// materializes one output row per group in first-seen order.
+func (a *aggOp) consume(ctx *Ctx) error {
 	groups := make(map[string]*aggState)
 	order := make([]string, 0, 16) // deterministic emission order (first seen)
 	var meter expr.Cost
 	var keyBuf strings.Builder
 
-	a.input.Run(ctx, func(row expr.Row) {
-		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles)
-		ctx.Charge(cpu.MemStall, ctx.Cost.AggStallCycles)
-
-		keyBuf.Reset()
-		for _, g := range a.groupBy {
-			keyBuf.WriteString(row[g].String())
-			keyBuf.WriteByte('\x00')
+	for {
+		in, err := a.input.Next(ctx)
+		if err != nil {
+			return err
 		}
-		key := keyBuf.String()
-		st, ok := groups[key]
-		if !ok {
-			st = &aggState{
-				sums:   make([]float64, len(a.aggs)),
-				counts: make([]int64, len(a.aggs)),
-				mins:   make([]expr.Value, len(a.aggs)),
-				maxs:   make([]expr.Value, len(a.aggs)),
-				seen:   make([]bool, len(a.aggs)),
-			}
-			st.groupVals = make(expr.Row, len(a.groupBy))
-			for i, g := range a.groupBy {
-				st.groupVals[i] = row[g]
-			}
-			groups[key] = st
-			order = append(order, key)
+		if in == nil {
+			break
 		}
-		for i, spec := range a.aggs {
-			if spec.Func == plan.Count {
-				st.counts[i]++
-				continue
+		n := float64(in.Len())
+		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles*n)
+		ctx.Charge(cpu.MemStall, ctx.Cost.AggStallCycles*n)
+		for _, row := range in.Rows {
+			keyBuf.Reset()
+			for _, g := range a.groupBy {
+				keyBuf.WriteString(row[g].String())
+				keyBuf.WriteByte('\x00')
 			}
-			v := spec.Arg.Eval(row, &meter)
-			if v.IsNull() {
-				continue
-			}
-			st.counts[i]++
-			st.sums[i] += v.AsFloat()
-			if !st.seen[i] {
-				st.mins[i], st.maxs[i], st.seen[i] = v, v, true
-			} else {
-				if expr.Compare(v, st.mins[i]) < 0 {
-					st.mins[i] = v
+			key := keyBuf.String()
+			st, ok := groups[key]
+			if !ok {
+				st = &aggState{
+					sums:   make([]float64, len(a.aggs)),
+					counts: make([]int64, len(a.aggs)),
+					mins:   make([]expr.Value, len(a.aggs)),
+					maxs:   make([]expr.Value, len(a.aggs)),
+					seen:   make([]bool, len(a.aggs)),
 				}
-				if expr.Compare(v, st.maxs[i]) > 0 {
-					st.maxs[i] = v
+				st.groupVals = make(expr.Row, len(a.groupBy))
+				for i, g := range a.groupBy {
+					st.groupVals[i] = row[g]
+				}
+				groups[key] = st
+				order = append(order, key)
+			}
+			for i, spec := range a.aggs {
+				if spec.Func == plan.Count {
+					st.counts[i]++
+					continue
+				}
+				v := spec.Arg.Eval(row, &meter)
+				if v.IsNull() {
+					continue
+				}
+				st.counts[i]++
+				st.sums[i] += v.AsFloat()
+				if !st.seen[i] {
+					st.mins[i], st.maxs[i], st.seen[i] = v, v, true
+				} else {
+					if expr.Compare(v, st.mins[i]) < 0 {
+						st.mins[i] = v
+					}
+					if expr.Compare(v, st.maxs[i]) > 0 {
+						st.maxs[i] = v
+					}
 				}
 			}
 		}
 		ctx.ChargeExpr(&meter)
-	})
+	}
 
+	a.results = make([]expr.Row, 0, len(order))
 	for _, key := range order {
 		st := groups[key]
 		out := make(expr.Row, 0, len(a.groupBy)+len(a.aggs))
@@ -275,10 +463,16 @@ func (a *aggOp) Run(ctx *Ctx, emit func(expr.Row)) {
 				panic(fmt.Sprintf("exec: unknown aggregate %v", spec.Func))
 			}
 		}
-		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles)
-		emit(out)
+		a.results = append(a.results, out)
 	}
+	ctx.Charge(cpu.Compute, ctx.Cost.AggCycles*float64(len(a.results)))
 	ctx.Flush()
+	return nil
+}
+
+func (a *aggOp) Close(ctx *Ctx) error {
+	a.results = nil
+	return a.input.Close(ctx)
 }
 
 func minOrNull(seen bool, v expr.Value) expr.Value {
@@ -288,57 +482,144 @@ func minOrNull(seen bool, v expr.Value) expr.Value {
 	return v
 }
 
-// sortOp materializes its input and sorts it, charging n·log₂n compares.
+// sortOp materializes its input on the first Next and sorts it, charging
+// n·log₂n compares, then serves the ordered rows in batches.
 type sortOp struct {
 	input Operator
 	keys  []plan.SortKey
+
+	rows    []expr.Row
+	pos     int
+	started bool
+	out     expr.Batch
 }
 
 func (s *sortOp) Schema() *catalog.Schema { return s.input.Schema() }
 
-func (s *sortOp) Run(ctx *Ctx, emit func(expr.Row)) {
-	var rows []expr.Row
-	s.input.Run(ctx, func(row expr.Row) { rows = append(rows, row) })
-
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range s.keys {
-			c := expr.Compare(rows[i][k.Col], rows[j][k.Col])
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	if n := float64(len(rows)); n > 1 {
-		ctx.Charge(cpu.Compute, ctx.Cost.SortCmpCycles*n*math.Log2(n))
-		ctx.Charge(cpu.MemStall, 0.25*ctx.Cost.SortCmpCycles*n*math.Log2(n))
-	}
-	ctx.Flush()
-	for _, r := range rows {
-		emit(r)
-	}
+func (s *sortOp) Open(ctx *Ctx) error {
+	s.rows, s.pos, s.started = nil, 0, false
+	return s.input.Open(ctx)
 }
 
-// limitOp emits the first n rows. The input still runs to completion
+func (s *sortOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	if !s.started {
+		s.started = true
+		for {
+			in, err := s.input.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if in == nil {
+				break
+			}
+			s.rows = append(s.rows, in.Rows...)
+		}
+		sort.SliceStable(s.rows, func(i, j int) bool {
+			for _, k := range s.keys {
+				c := expr.Compare(s.rows[i][k.Col], s.rows[j][k.Col])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if n := float64(len(s.rows)); n > 1 {
+			ctx.Charge(cpu.Compute, ctx.Cost.SortCmpCycles*n*math.Log2(n))
+			ctx.Charge(cpu.MemStall, 0.25*ctx.Cost.SortCmpCycles*n*math.Log2(n))
+		}
+		ctx.Flush()
+	}
+	return serveBuffered(ctx, s.rows, &s.pos, &s.out), nil
+}
+
+func (s *sortOp) Close(ctx *Ctx) error {
+	s.rows = nil
+	return s.input.Close(ctx)
+}
+
+// limitOp serves the first n rows. The input still runs to completion
 // (there are no indices to stop early with), matching the engines under
-// study.
+// study: once the limit is reached the remaining input is drained before
+// the final batch is returned.
 type limitOp struct {
 	input Operator
 	n     int
+
+	remaining int
+	done      bool
+	out       expr.Batch
 }
 
 func (l *limitOp) Schema() *catalog.Schema { return l.input.Schema() }
 
-func (l *limitOp) Run(ctx *Ctx, emit func(expr.Row)) {
-	emitted := 0
-	l.input.Run(ctx, func(row expr.Row) {
-		if emitted < l.n {
-			emitted++
-			emit(row)
+func (l *limitOp) Open(ctx *Ctx) error {
+	l.remaining, l.done = l.n, false
+	return l.input.Open(ctx)
+}
+
+func (l *limitOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	if l.done {
+		return nil, nil
+	}
+	for {
+		in, err := l.input.Next(ctx)
+		if err != nil {
+			return nil, err
 		}
-	})
+		if in == nil {
+			l.done = true
+			return nil, nil
+		}
+		if l.remaining == 0 {
+			continue // past the limit: keep draining the input's work
+		}
+		keep := in.Rows
+		if len(keep) > l.remaining {
+			keep = keep[:l.remaining]
+		}
+		l.remaining -= len(keep)
+		if l.remaining > 0 {
+			l.out.Rows = keep
+			return &l.out, nil
+		}
+		// Limit reached: copy the final rows out of the input's reusable
+		// batch, then drain the rest of the input so its full cost lands
+		// inside this query.
+		l.out.Rows = append(make([]expr.Row, 0, len(keep)), keep...)
+		for {
+			rest, err := l.input.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if rest == nil {
+				break
+			}
+		}
+		l.done = true
+		return &l.out, nil
+	}
+}
+
+func (l *limitOp) Close(ctx *Ctx) error {
+	return l.input.Close(ctx)
+}
+
+// serveBuffered hands out successive batch-sized windows of rows, advancing
+// *pos; it returns nil once all rows are served. The window batch aliases
+// rows directly — no copying.
+func serveBuffered(ctx *Ctx, rows []expr.Row, pos *int, out *expr.Batch) *expr.Batch {
+	if *pos >= len(rows) {
+		return nil
+	}
+	end := *pos + ctx.BatchTarget()
+	if end > len(rows) {
+		end = len(rows)
+	}
+	out.Rows = rows[*pos:end:end]
+	*pos = end
+	return out
 }

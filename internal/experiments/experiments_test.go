@@ -19,6 +19,30 @@ func lightMySQL() Config {
 	return Config{SF: 0.05, Amplification: 10, Seed: 42, ProtocolRuns: 3}
 }
 
+// shorten reduces the generated scale factor under `go test -short`,
+// raising amplification by the inverse ratio so the paper-equivalent scale
+// (and therefore absolute simulated runtimes and joules) is preserved, and
+// drops to a single protocol run. Quantization noise grows with the
+// reduction, so tests with tight paper tolerances skip short mode instead
+// of shrinking.
+func shorten(cfg Config, shortSF float64) Config {
+	if !testing.Short() {
+		return cfg
+	}
+	cfg.Amplification *= cfg.SF / shortSF
+	cfg.SF = shortSF
+	cfg.ProtocolRuns = 1
+	return cfg
+}
+
+// skipShort marks a test too tolerance-sensitive to run at reduced scale.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-tolerance test needs full generated scale; run without -short")
+	}
+}
+
 func TestTable1WithinHalfWattOfPaper(t *testing.T) {
 	r := Table1()
 	if len(r.Stages) != 6 {
@@ -35,7 +59,7 @@ func TestTable1WithinHalfWattOfPaper(t *testing.T) {
 }
 
 func TestFigure1HeadlineClaims(t *testing.T) {
-	r := Figure1(lightCommercial())
+	r := Figure1(shorten(lightCommercial(), 0.005))
 	if len(r.Measurements) != 4 {
 		t.Fatalf("measurements = %d", len(r.Measurements))
 	}
@@ -71,6 +95,9 @@ func TestFigure1HeadlineClaims(t *testing.T) {
 }
 
 func TestFigure2Orderings(t *testing.T) {
+	// The EDP monotonicity orderings sit within GUI-sampling noise at
+	// reduced generated scale, so this one needs the full dataset.
+	skipShort(t)
 	r := Figure2(lightCommercial())
 	byName := map[string]float64{}
 	for _, pt := range r.Points {
@@ -106,7 +133,7 @@ func TestFigure2Orderings(t *testing.T) {
 }
 
 func TestFigure3MatchesPaperBands(t *testing.T) {
-	r := Figure3(lightMySQL())
+	r := Figure3(shorten(lightMySQL(), 0.0125))
 	byName := map[string]float64{}
 	for _, pt := range r.Points {
 		byName[pt.Setting.String()] = pt.EDPChange * 100
@@ -135,7 +162,7 @@ func TestFigure3MatchesPaperBands(t *testing.T) {
 }
 
 func TestFigure4TheoryTracksObservation(t *testing.T) {
-	r := Figure4(lightMySQL())
+	r := Figure4(shorten(lightMySQL(), 0.0125))
 	if len(r.Panels["small"]) != 4 || len(r.Panels["medium"]) != 4 {
 		t.Fatalf("panels incomplete: %v", r.Panels)
 	}
@@ -188,7 +215,7 @@ func TestFigure5Shapes(t *testing.T) {
 }
 
 func TestFigure6QEDClaims(t *testing.T) {
-	cfg := lightMySQL()
+	cfg := shorten(lightMySQL(), 0.0125)
 	cfg.ProtocolRuns = 2
 	r := Figure6(cfg)
 	if len(r.Points) != 4 {
@@ -217,7 +244,7 @@ func TestFigure6QEDClaims(t *testing.T) {
 }
 
 func TestFigure6HashSetBeatsOrChain(t *testing.T) {
-	cfg := lightMySQL()
+	cfg := shorten(lightMySQL(), 0.0125)
 	cfg.ProtocolRuns = 1
 	or := Figure6(cfg)
 	hash := Figure6HashSet(cfg)
@@ -231,7 +258,7 @@ func TestFigure6HashSetBeatsOrChain(t *testing.T) {
 }
 
 func TestWarmColdClaims(t *testing.T) {
-	r := WarmCold(lightCommercial())
+	r := WarmCold(shorten(lightCommercial(), 0.005))
 	slow := float64(r.Cold.Time) / float64(r.Warm.Time)
 	if slow < 2.2 || slow > 4.5 {
 		t.Errorf("cold/warm slowdown %.2f, want ≈3 (paper)", slow)
@@ -273,7 +300,7 @@ func TestRenderings(t *testing.T) {
 }
 
 func TestCapVsUnderclockGranularity(t *testing.T) {
-	cfg := lightCommercial()
+	cfg := shorten(lightCommercial(), 0.005)
 	cfg.ProtocolRuns = 1
 	r := CapVsUnderclock(cfg)
 	if len(r.Points) != 7 {
@@ -303,7 +330,7 @@ func TestCapVsUnderclockGranularity(t *testing.T) {
 }
 
 func TestMechanismDecomposition(t *testing.T) {
-	cfg := lightCommercial()
+	cfg := shorten(lightCommercial(), 0.005)
 	cfg.ProtocolRuns = 1
 	r := Mechanisms(cfg)
 	byLabel := map[string]AblationPoint{}

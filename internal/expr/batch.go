@@ -1,0 +1,145 @@
+package expr
+
+// DefaultBatchCapacity is the default number of rows one execution batch
+// targets. It is large enough to amortize per-batch bookkeeping (cost
+// flushes, virtual dispatch into operators) over many tuples while keeping
+// a batch of typical TPC-H rows within cache-friendly bounds.
+const DefaultBatchCapacity = 1024
+
+// Batch is a reusable chunk of rows flowing between operators in the
+// vectorized executor. The containing slice is owned by the producing
+// operator and recycled across Next calls; the Row values themselves are
+// immutable and may be retained by consumers.
+type Batch struct {
+	Rows []Row
+}
+
+// NewBatch returns an empty batch with the given row capacity;
+// non-positive capacities select DefaultBatchCapacity.
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultBatchCapacity
+	}
+	return &Batch{Rows: make([]Row, 0, capacity)}
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
+
+// Append adds a row.
+func (b *Batch) Append(r Row) { b.Rows = append(b.Rows, r) }
+
+// EvalBatch evaluates e over every row, appending one value per row to dst
+// and returning the extended slice. Cycle accounting is identical to
+// row-at-a-time Eval; the accumulated cost is simply drained once per batch
+// by the caller instead of once per row.
+func EvalBatch(e Expr, rows []Row, dst []Value, cost *Cost) []Value {
+	for _, r := range rows {
+		dst = append(dst, e.Eval(r, cost))
+	}
+	return dst
+}
+
+// FilterBatch appends the rows satisfying pred to out. The common
+// single-column predicate shapes (col ⋈ const, col BETWEEN, col IN hash-set)
+// run in specialized loops that hoist the column index and constant out of
+// the per-row interpreter walk; everything else falls back to Eval. Charged
+// cycles are identical to evaluating pred row by row.
+func FilterBatch(pred Expr, in []Row, out *Batch, cost *Cost) {
+	switch p := pred.(type) {
+	case Cmp:
+		if col, ok := p.L.(Col); ok {
+			if c, ok := p.R.(Const); ok {
+				filterCmpColConst(p.Op, col.Idx, c.V, in, out, cost)
+				return
+			}
+		}
+	case Between:
+		if col, ok := p.E.(Col); ok {
+			filterBetweenCol(col.Idx, p.Lo, p.Hi, in, out, cost)
+			return
+		}
+	case *InHash:
+		if col, ok := p.E.(Col); ok {
+			filterInHashCol(col.Idx, p.Set, in, out, cost)
+			return
+		}
+	}
+	for _, r := range in {
+		if pred.Eval(r, cost).Truthy() {
+			out.Append(r)
+		}
+	}
+}
+
+// filterCmpColConst is the vectorized loop for Cmp{Col, Const}, charging
+// exactly what Cmp.Eval charges per row.
+func filterCmpColConst(op CmpOp, idx int, k Value, in []Row, out *Batch, cost *Cost) {
+	var cycles float64
+	for _, r := range in {
+		v := r[idx]
+		cycles += CyclesColRef + CyclesConst
+		if v.IsNull() || k.IsNull() {
+			cycles += CyclesCompare
+			continue
+		}
+		if v.Kind == KindString {
+			cycles += CyclesStringCmp
+		} else {
+			cycles += CyclesCompare
+		}
+		rel := Compare(v, k)
+		var keep bool
+		switch op {
+		case EQ:
+			keep = rel == 0
+		case NE:
+			keep = rel != 0
+		case LT:
+			keep = rel < 0
+		case LE:
+			keep = rel <= 0
+		case GT:
+			keep = rel > 0
+		case GE:
+			keep = rel >= 0
+		}
+		if keep {
+			out.Append(r)
+		}
+	}
+	cost.Add(cycles)
+}
+
+// filterBetweenCol is the vectorized loop for Between{Col}, the TPC-H
+// date-range shape.
+func filterBetweenCol(idx int, lo, hi Value, in []Row, out *Batch, cost *Cost) {
+	var cycles float64
+	for _, r := range in {
+		v := r[idx]
+		cycles += CyclesColRef + 2*CyclesCompare
+		if v.IsNull() {
+			continue
+		}
+		if Compare(v, lo) >= 0 && Compare(v, hi) < 0 {
+			out.Append(r)
+		}
+	}
+	cost.Add(cycles)
+}
+
+// filterInHashCol is the vectorized loop for InHash{Col}, the merged-QED
+// hash-set membership shape.
+func filterInHashCol(idx int, set map[Value]struct{}, in []Row, out *Batch, cost *Cost) {
+	var cycles float64
+	for _, r := range in {
+		cycles += CyclesColRef + CyclesHashProbe
+		if _, ok := set[r[idx]]; ok {
+			out.Append(r)
+		}
+	}
+	cost.Add(cycles)
+}

@@ -120,14 +120,21 @@ func Merge(queries []plan.Node, strategy MergeStrategy) (*Merged, error) {
 // against one query's predicate during result splitting.
 const SplitCostPerRowPerProbe = 9
 
-// Split routes each merged-result row to the queries whose predicate it
-// satisfies, returning one row set per original query (in input order) and
-// the client-side CPU cycles the split consumed. The paper performs this
-// in application logic and includes its time and energy cost; the caller
-// charges the returned cycles to the machine.
-func (m *Merged) Split(rows []expr.Row) (perQuery [][]expr.Row, clientCycles float64) {
-	perQuery = make([][]expr.Row, len(m.Selections))
+// Splitter incrementally routes merged-result rows back to their original
+// queries, so a streaming consumer can split batches as they arrive off
+// the engine instead of materializing the merged mega-result twice. The
+// paper performs this in application logic and includes its time and
+// energy cost; the caller charges the accumulated cycles to the machine.
+type Splitter struct {
+	m        *Merged
+	index    map[expr.Value]int
+	col      int
+	perQuery [][]expr.Row
+	cycles   float64
+}
 
+// NewSplitter returns a splitter for the merged batch.
+func (m *Merged) NewSplitter() *Splitter {
 	// A real client routes on the selection column's value; with equality
 	// predicates a map gives the destination directly, but the probe cost
 	// still scales with how the client organizes the split. Charge the
@@ -137,18 +144,40 @@ func (m *Merged) Split(rows []expr.Row) (perQuery [][]expr.Row, clientCycles flo
 	for i, s := range m.Selections {
 		index[s.Value] = i
 	}
-	col := m.Selections[0].Col
+	return &Splitter{
+		m:        m,
+		index:    index,
+		col:      m.Selections[0].Col,
+		perQuery: make([][]expr.Row, len(m.Selections)),
+	}
+}
+
+// Add routes one batch of merged-result rows.
+func (s *Splitter) Add(rows []expr.Row) {
+	switch s.m.Strategy {
+	case HashSet:
+		s.cycles += 2 * SplitCostPerRowPerProbe * float64(len(rows))
+	default:
+		// Linear routing: on average half the predicates are tested.
+		s.cycles += float64(len(s.m.Selections)) / 2 * SplitCostPerRowPerProbe * float64(len(rows))
+	}
 	for _, row := range rows {
-		switch m.Strategy {
-		case HashSet:
-			clientCycles += 2 * SplitCostPerRowPerProbe
-		default:
-			// Linear routing: on average half the predicates are tested.
-			clientCycles += float64(len(m.Selections)) / 2 * SplitCostPerRowPerProbe
-		}
-		if qi, ok := index[row[col]]; ok {
-			perQuery[qi] = append(perQuery[qi], row)
+		if qi, ok := s.index[row[s.col]]; ok {
+			s.perQuery[qi] = append(s.perQuery[qi], row)
 		}
 	}
-	return perQuery, clientCycles
+}
+
+// Finish returns one row set per original query (in input order) and the
+// client-side CPU cycles the split consumed.
+func (s *Splitter) Finish() (perQuery [][]expr.Row, clientCycles float64) {
+	return s.perQuery, s.cycles
+}
+
+// Split routes a fully materialized merged result in one call — a
+// convenience wrapper over the streaming Splitter.
+func (m *Merged) Split(rows []expr.Row) (perQuery [][]expr.Row, clientCycles float64) {
+	s := m.NewSplitter()
+	s.Add(rows)
+	return s.Finish()
 }

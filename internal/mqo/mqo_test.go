@@ -164,3 +164,50 @@ func TestMergeStrategyString(t *testing.T) {
 		t.Fatal("strategy names wrong")
 	}
 }
+
+func TestSplitterStreamingMatchesSplit(t *testing.T) {
+	lt := lineitemish()
+	qcol := lt.Schema.MustIndex("qty")
+	plans := make([]plan.Node, 5)
+	for i := range plans {
+		plans[i] = plan.NewScan(lt, expr.Cmp{
+			Op: expr.EQ, L: lt.Schema.Col("qty"), R: expr.Const{V: expr.Int(int64(i + 1))},
+		})
+	}
+	merged, err := Merge(plans, OrChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gather every merged-result row straight off the heap.
+	var rows []expr.Row
+	for p := 0; p < lt.Heap.NumPages(); p++ {
+		for _, r := range lt.Heap.Page(p).Rows {
+			if q := r[qcol].I; q >= 1 && q <= 5 {
+				rows = append(rows, r)
+			}
+		}
+	}
+
+	wantPer, wantCycles := merged.Split(rows)
+
+	// Streaming the same rows through in arbitrary chunk sizes must route
+	// identically and charge identical client cycles.
+	s := merged.NewSplitter()
+	for i := 0; i < len(rows); i += 37 {
+		end := i + 37
+		if end > len(rows) {
+			end = len(rows)
+		}
+		s.Add(rows[i:end])
+	}
+	gotPer, gotCycles := s.Finish()
+
+	if gotCycles != wantCycles {
+		t.Fatalf("client cycles differ: %v vs %v", gotCycles, wantCycles)
+	}
+	for qi := range wantPer {
+		if len(gotPer[qi]) != len(wantPer[qi]) {
+			t.Fatalf("query %d: %d rows streamed vs %d split", qi, len(gotPer[qi]), len(wantPer[qi]))
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package storage
+
+import "ecodb/internal/expr"
+
+// PageScan is a stateful cursor over a heap's pages — the storage half of
+// the executor's batch pipeline. Each step surfaces one page through the
+// buffer pool (misses become simulated disk reads) and hands its rows to a
+// batch, so the executor charges work at page granularity while flowing
+// rows downstream in larger chunks.
+type PageScan struct {
+	heap  *Heap
+	table string
+	pool  *BufferPool // nil for an all-in-memory engine
+	next  int
+}
+
+// NewPageScan returns a cursor over heap's pages. table names the heap in
+// buffer-pool page IDs; pool may be nil when no pool is attached.
+func NewPageScan(heap *Heap, table string, pool *BufferPool) *PageScan {
+	return &PageScan{heap: heap, table: table, pool: pool}
+}
+
+// ReadInto advances to the next page, touching the buffer pool when one is
+// attached, and appends the page's rows to dst. It reports the page's byte
+// size and row count; ok is false when the heap is exhausted (dst is then
+// untouched).
+func (s *PageScan) ReadInto(dst *expr.Batch) (bytes int64, rows int, ok bool) {
+	if s.next >= s.heap.NumPages() {
+		return 0, 0, false
+	}
+	page := s.heap.Page(s.next)
+	if s.pool != nil {
+		s.pool.Access(PageID{Table: s.table, Index: s.next}, page.Bytes)
+	}
+	s.next++
+	dst.Rows = append(dst.Rows, page.Rows...)
+	return page.Bytes, len(page.Rows), true
+}
+
+// Reset rewinds the cursor to the first page.
+func (s *PageScan) Reset() { s.next = 0 }

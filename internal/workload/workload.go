@@ -88,7 +88,10 @@ func RunSequential(e *engine.Engine, clock *sim.Clock, queries []Query) RunResul
 	out := RunResult{Queries: make([]QueryResult, 0, len(queries))}
 	for _, q := range queries {
 		start := clock.Now().Sub(issue)
-		_, st := e.Exec(q.Plan)
+		// Stream the result without materializing it: measurement loops
+		// only need cardinalities, and the simulated result-path cost is
+		// charged by the iterator either way.
+		st := e.Query(q.Plan).Stats()
 		out.Queries = append(out.Queries, QueryResult{
 			ID:    q.ID,
 			Start: start,
