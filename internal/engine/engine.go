@@ -174,7 +174,11 @@ func (e *Engine) Query(p plan.Node) *Rows {
 		}
 	}
 	r.ctx = ctx
-	r.op = exec.Compile(p)
+	// Eligible scan→filter→project fragments run morsel-parallel across
+	// the profile's worker goroutines; CompileParallel falls back to the
+	// serial operators for Workers <= 1. Simulated accounting is
+	// worker-count invariant either way.
+	r.op = exec.CompileParallel(p, e.prof.Workers)
 	if err := r.op.Open(ctx); err != nil {
 		// No operator errors today; finalize so the iterator is inert.
 		r.finish()

@@ -296,3 +296,85 @@ func TestQueryParallelismRestored(t *testing.T) {
 		t.Fatalf("parallelism not restored after streaming query: run took %v", d)
 	}
 }
+
+func TestSimulationInvariantAcrossWorkerCounts(t *testing.T) {
+	// The morsel-parallel path must leave the simulation bit-identical:
+	// same rows, same duration, same pool traffic, same charged cycles —
+	// for any worker count, on the disk-backed profile with background
+	// I/O live.
+	type run struct {
+		rows     []expr.Row
+		stats    ExecStats
+		cycles   float64
+		byKind   [3]float64
+		poolHits int64
+	}
+	exec := func(workers int) run {
+		prof := ProfileCommercial()
+		prof.Workers = workers
+		e, m := newEngine(t, prof, 0.01)
+		e.WarmAll()
+		res, st := e.Exec(tpch.Q5(e.Catalog(), "ASIA", 1994))
+		cs := m.CPUModel().Stats()
+		return run{rows: res.Rows, stats: st, cycles: cs.Cycles,
+			byKind: cs.CyclesByKind, poolHits: st.PoolHits}
+	}
+
+	base := exec(0) // serial
+	for _, w := range []int{1, 2, 4, 7} {
+		got := exec(w)
+		if len(got.rows) != len(base.rows) {
+			t.Fatalf("workers=%d: %d rows, want %d", w, len(got.rows), len(base.rows))
+		}
+		for i := range got.rows {
+			for c := range got.rows[i] {
+				if got.rows[i][c] != base.rows[i][c] {
+					t.Fatalf("workers=%d: row %d col %d differs", w, i, c)
+				}
+			}
+		}
+		if got.stats != base.stats {
+			t.Fatalf("workers=%d: stats differ:\n got %+v\nwant %+v", w, got.stats, base.stats)
+		}
+		if got.cycles != base.cycles || got.byKind != base.byKind {
+			t.Fatalf("workers=%d: charged cycles differ: %v/%v vs %v/%v",
+				w, got.cycles, got.byKind, base.cycles, base.byKind)
+		}
+		if got.poolHits != base.poolHits {
+			t.Fatalf("workers=%d: pool hits %d, want %d", w, got.poolHits, base.poolHits)
+		}
+	}
+}
+
+func TestRowsEarlyCloseDrainsStatement(t *testing.T) {
+	// Abandoning a streaming result mid-scan must still charge the whole
+	// statement: the engines under study never terminate early. Duration
+	// and row accounting must match a fully consumed run on an identical
+	// engine.
+	full, _ := newEngine(t, ProfileCommercial(), 0.01)
+	full.WarmAll()
+	q := func(e *Engine) plan.Node {
+		li := e.MustTable(tpch.Lineitem)
+		return plan.NewScan(li, expr.Cmp{
+			Op: expr.LT, L: li.Schema.Col("l_quantity"), R: expr.Const{V: expr.Int(10)}})
+	}
+	_, want := full.Exec(q(full))
+
+	early, _ := newEngine(t, ProfileCommercial(), 0.01)
+	early.WarmAll()
+	rows := early.Query(q(early))
+	b, err := rows.Next()
+	if err != nil || b == nil {
+		t.Fatalf("first batch: %v, %v", b, err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := rows.Stats()
+	if got != want {
+		t.Fatalf("early-closed stats %+v, want fully-drained %+v", got, want)
+	}
+	if b2, _ := rows.Next(); b2 != nil {
+		t.Fatal("closed stream served another batch")
+	}
+}

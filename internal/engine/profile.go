@@ -22,6 +22,14 @@ type Profile struct {
 	MemoryEngine bool
 	// Parallelism is how many cores a query's operators use.
 	Parallelism int
+	// Workers is how many OS goroutines execute morsel-eligible plan
+	// fragments (scan→filter→project chains) concurrently; 0 or 1 keeps
+	// the serial executor. Workers changes real wall-clock behaviour
+	// only — simulated results, durations, and joules are worker-count
+	// invariant, because the morsel coordinator replays all simulated
+	// accounting in deterministic page order and multi-core simulated
+	// time is charged via Parallelism as before.
+	Workers int
 	// PoolBytes is the buffer pool size for disk-backed engines.
 	PoolBytes int64
 	// Cost holds the per-operation cycle constants.
@@ -72,6 +80,7 @@ func ProfileCommercial() Profile {
 		Name:         "ClydeDB (commercial profile)",
 		MemoryEngine: false,
 		Parallelism:  2,
+		Workers:      4,
 		PoolBytes:    1 << 30,
 		Cost: exec.CostModel{
 			ScanTupleCycles:       370,

@@ -232,6 +232,116 @@ func TestAggEmptyInput(t *testing.T) {
 	}
 }
 
+func TestHashJoinNullKeysDoNotMatch(t *testing.T) {
+	// SQL equality is false on NULL: {NULL,1} ⋈ {NULL,1} is one row, not
+	// two. The pre-fix executor matched NULL build keys with NULL probe
+	// keys because both landed on the same hash-table entry.
+	ctx, _ := testCtx()
+	mk := func(name string) *catalog.Table {
+		tb := catalog.NewTable(name, catalog.NewSchema(
+			catalog.Column{Name: name + "k", Kind: expr.KindInt}))
+		tb.Insert(expr.Row{expr.Null()})
+		tb.Insert(expr.Row{expr.Int(1)})
+		return tb
+	}
+	j := plan.NewHashJoin(plan.NewScan(mk("l"), nil), plan.NewScan(mk("r"), nil), 0, 0, nil)
+	rows := collect(t, Compile(j), ctx)
+	if len(rows) != 1 {
+		t.Fatalf("NULL-key join produced %d rows, want 1", len(rows))
+	}
+	if rows[0][0].I != 1 || rows[0][1].I != 1 {
+		t.Fatalf("joined row = %v, want (1,1)", rows[0])
+	}
+}
+
+func TestGlobalAggOverEmptyInput(t *testing.T) {
+	// A global aggregate (no GROUP BY) over zero rows returns exactly one
+	// row: COUNT 0, everything else NULL. The pre-fix executor returned
+	// zero rows.
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 0)
+	v := tb.Schema.Col("v")
+	a := plan.NewAgg(plan.NewScan(tb, nil), nil, []plan.AggSpec{
+		{Func: plan.Count, Name: "c"},
+		{Func: plan.Sum, Arg: v, Name: "s"},
+		{Func: plan.Min, Arg: v, Name: "mn"},
+		{Func: plan.Max, Arg: v, Name: "mx"},
+		{Func: plan.Avg, Arg: v, Name: "av"},
+	})
+	rows := collect(t, Compile(a), ctx)
+	if len(rows) != 1 {
+		t.Fatalf("global agg over empty input produced %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r[0].Kind != expr.KindInt || r[0].I != 0 {
+		t.Fatalf("COUNT(*) over empty input = %v, want 0", r[0])
+	}
+	for i, name := range []string{"sum", "min", "max", "avg"} {
+		if !r[1+i].IsNull() {
+			t.Fatalf("%s over empty input = %v, want NULL", name, r[1+i])
+		}
+	}
+}
+
+func TestGroupKeysAreInjective(t *testing.T) {
+	ctx, _ := testCtx()
+	// ("x\x00","y") and ("x","\x00y") collapsed under the old
+	// string+separator keys; they are distinct groups.
+	tb := catalog.NewTable("g", catalog.NewSchema(
+		catalog.Column{Name: "a", Kind: expr.KindString},
+		catalog.Column{Name: "b", Kind: expr.KindString},
+	))
+	tb.Insert(expr.Row{expr.String("x\x00"), expr.String("y")})
+	tb.Insert(expr.Row{expr.String("x"), expr.String("\x00y")})
+	a := plan.NewAgg(plan.NewScan(tb, nil), []int{0, 1},
+		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
+	if rows := collect(t, Compile(a), ctx); len(rows) != 2 {
+		t.Fatalf("boundary-shifted groups collapsed: %d groups, want 2", len(rows))
+	}
+
+	// Int(1) and String("1") render identically but are distinct groups.
+	ctx2, _ := testCtx()
+	mixed := catalog.NewTable("m", catalog.NewSchema(
+		catalog.Column{Name: "k", Kind: expr.KindString}))
+	mixed.Insert(expr.Row{expr.Int(1)})
+	mixed.Insert(expr.Row{expr.String("1")})
+	a2 := plan.NewAgg(plan.NewScan(mixed, nil), []int{0},
+		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
+	if rows := collect(t, Compile(a2), ctx2); len(rows) != 2 {
+		t.Fatalf("kind-crossing groups collapsed: %d groups, want 2", len(rows))
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := catalog.NewTable("t", catalog.NewSchema(
+		catalog.Column{Name: "g", Kind: expr.KindString},
+		catalog.Column{Name: "v", Kind: expr.KindInt},
+	))
+	tb.Insert(expr.Row{expr.String("a"), expr.Int(1)})
+	tb.Insert(expr.Row{expr.String("a"), expr.Null()})
+	tb.Insert(expr.Row{expr.String("b"), expr.Null()})
+	v := tb.Schema.Col("v")
+	a := plan.NewAgg(plan.NewScan(tb, nil), []int{0}, []plan.AggSpec{
+		{Func: plan.Count, Arg: v, Name: "cnt_v"}, // COUNT(v)
+		{Func: plan.Count, Name: "cnt_star"},      // COUNT(*)
+	})
+	rows := collect(t, Compile(a), ctx)
+	if len(rows) != 2 {
+		t.Fatalf("agg produced %d groups, want 2", len(rows))
+	}
+	byGroup := map[string]expr.Row{}
+	for _, r := range rows {
+		byGroup[r[0].S] = r
+	}
+	if ra := byGroup["a"]; ra[1].I != 1 || ra[2].I != 2 {
+		t.Fatalf("group a: COUNT(v)=%v COUNT(*)=%v, want 1 and 2", ra[1], ra[2])
+	}
+	if rb := byGroup["b"]; rb[1].I != 0 || rb[2].I != 1 {
+		t.Fatalf("group b: COUNT(v)=%v COUNT(*)=%v, want 0 and 1", rb[1], rb[2])
+	}
+}
+
 func TestSortAscDesc(t *testing.T) {
 	ctx, _ := testCtx()
 	tb := catalog.NewTable("s", catalog.NewSchema(
@@ -259,6 +369,41 @@ func TestLimit(t *testing.T) {
 	rows := collect(t, Compile(plan.NewLimit(plan.NewScan(tb, nil), 7)), ctx)
 	if len(rows) != 7 {
 		t.Fatalf("limit emitted %d rows", len(rows))
+	}
+}
+
+func TestLimitTruncatesMidBatch(t *testing.T) {
+	// When the limit boundary falls inside a batch, exactly the first N
+	// rows come out — in order, across the batch seam.
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 1200) // ~409 rows per page: limit spans pages
+	rows := collect(t, Compile(plan.NewLimit(plan.NewScan(tb, nil), 450)), ctx)
+	if len(rows) != 450 {
+		t.Fatalf("limit emitted %d rows, want 450", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i) {
+			t.Fatalf("row %d has key %d: truncation reordered or dropped rows", i, r[0].I)
+		}
+	}
+
+	// Limit inside the very first batch: the returned batch holds exactly
+	// N rows even though the input batch held a whole page.
+	ctx2, _ := testCtx()
+	op := Compile(plan.NewLimit(plan.NewScan(tb, nil), 7))
+	if err := op.Open(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close(ctx2)
+	b, err := op.Next(ctx2)
+	if err != nil || b == nil {
+		t.Fatalf("first batch: %v, %v", b, err)
+	}
+	if b.Len() != 7 {
+		t.Fatalf("mid-batch truncation returned %d rows, want 7", b.Len())
+	}
+	if next, _ := op.Next(ctx2); next != nil {
+		t.Fatalf("limit served rows past the boundary: %v", next.Rows)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"ecodb/internal/catalog"
 	"ecodb/internal/expr"
@@ -56,32 +55,11 @@ func Drain(ctx *Ctx, op Operator, fn func(*expr.Batch) error) error {
 	return op.Close(ctx)
 }
 
-// Compile lowers a logical plan to physical operators. Unknown node types
-// panic: the operator set is closed.
-func Compile(n plan.Node) Operator {
-	switch n := n.(type) {
-	case *plan.Scan:
-		return &scanOp{table: n.Table, filter: n.Filter}
-	case *plan.Filter:
-		return &filterOp{input: Compile(n.Input), pred: n.Pred}
-	case *plan.HashJoin:
-		return &hashJoinOp{
-			build: Compile(n.Build), probe: Compile(n.Probe),
-			buildKey: n.BuildKey, probeKey: n.ProbeKey,
-			residual: n.Residual, schema: n.Schema(),
-		}
-	case *plan.Project:
-		return &projectOp{input: Compile(n.Input), exprs: n.Exprs, schema: n.Schema()}
-	case *plan.Agg:
-		return &aggOp{input: Compile(n.Input), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
-	case *plan.Sort:
-		return &sortOp{input: Compile(n.Input), keys: n.Keys}
-	case *plan.Limit:
-		return &limitOp{input: Compile(n.Input), n: n.N}
-	default:
-		panic(fmt.Sprintf("exec: cannot compile %T", n))
-	}
-}
+// Compile lowers a logical plan to serial physical operators. Unknown
+// node types panic: the operator set is closed. It is the workers=1 case
+// of CompileParallel (see parallel.go), which owns the single lowering
+// switch.
+func Compile(n plan.Node) Operator { return CompileParallel(n, 1) }
 
 // scanOp reads a heap page by page through the buffer pool (misses become
 // simulated disk reads), charging stream work for page bytes and per-tuple
@@ -121,7 +99,7 @@ func (s *scanOp) Open(ctx *Ctx) error {
 func (s *scanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 	s.out.Reset()
 	for s.out.Len() == 0 {
-		ctx.Flush() // close the previous page's pipeline-wide cost window
+		ctx.Flush()  // close the previous page's pipeline-wide cost window
 		dst := s.out // filterless scans read pages straight into the output
 		if s.filter != nil {
 			s.raw.Reset()
@@ -223,6 +201,12 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 		}
 		for _, row := range b.Rows {
 			k := row[j.buildKey]
+			if k.IsNull() {
+				// NULL never equals NULL under join semantics (Cmp.Eval
+				// returns false on NULL); keep NULL keys out of the table
+				// so they cannot meet a NULL probe key.
+				continue
+			}
 			j.table[k] = append(j.table[k], row)
 		}
 		n := float64(b.Len())
@@ -249,7 +233,11 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 		j.out.Reset()
 		matches := 0
 		for _, row := range in.Rows {
-			hits, ok := j.table[row[j.probeKey]]
+			k := row[j.probeKey]
+			if k.IsNull() {
+				continue
+			}
+			hits, ok := j.table[k]
 			if !ok {
 				continue
 			}
@@ -338,6 +326,17 @@ type aggState struct {
 	seen      []bool
 }
 
+// newAggState returns a zeroed accumulator for nAggs aggregates.
+func newAggState(nAggs int) *aggState {
+	return &aggState{
+		sums:   make([]float64, nAggs),
+		counts: make([]int64, nAggs),
+		mins:   make([]expr.Value, nAggs),
+		maxs:   make([]expr.Value, nAggs),
+		seen:   make([]bool, nAggs),
+	}
+}
+
 // aggOp is a hash aggregation over single- or multi-column groups. It
 // consumes its whole input on the first Next, then serves the grouped
 // output in batches.
@@ -376,7 +375,7 @@ func (a *aggOp) consume(ctx *Ctx) error {
 	groups := make(map[string]*aggState)
 	order := make([]string, 0, 16) // deterministic emission order (first seen)
 	var meter expr.Cost
-	var keyBuf strings.Builder
+	var keyBuf []byte
 
 	for {
 		in, err := a.input.Next(ctx)
@@ -390,21 +389,17 @@ func (a *aggOp) consume(ctx *Ctx) error {
 		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles*n)
 		ctx.Charge(cpu.MemStall, ctx.Cost.AggStallCycles*n)
 		for _, row := range in.Rows {
-			keyBuf.Reset()
+			keyBuf = keyBuf[:0]
 			for _, g := range a.groupBy {
-				keyBuf.WriteString(row[g].String())
-				keyBuf.WriteByte('\x00')
+				keyBuf = expr.AppendGroupKey(keyBuf, row[g])
 			}
-			key := keyBuf.String()
-			st, ok := groups[key]
+			// The map-index conversion lets the compiler elide the key
+			// copy on lookup hits; the string is materialized only for
+			// first-seen groups.
+			st, ok := groups[string(keyBuf)]
 			if !ok {
-				st = &aggState{
-					sums:   make([]float64, len(a.aggs)),
-					counts: make([]int64, len(a.aggs)),
-					mins:   make([]expr.Value, len(a.aggs)),
-					maxs:   make([]expr.Value, len(a.aggs)),
-					seen:   make([]bool, len(a.aggs)),
-				}
+				key := string(keyBuf)
+				st = newAggState(len(a.aggs))
 				st.groupVals = make(expr.Row, len(a.groupBy))
 				for i, g := range a.groupBy {
 					st.groupVals[i] = row[g]
@@ -414,6 +409,11 @@ func (a *aggOp) consume(ctx *Ctx) error {
 			}
 			for i, spec := range a.aggs {
 				if spec.Func == plan.Count {
+					// COUNT(expr) counts rows where the argument is
+					// non-NULL; bare COUNT(*) (nil Arg) counts every row.
+					if spec.Arg != nil && spec.Arg.Eval(row, &meter).IsNull() {
+						continue
+					}
 					st.counts[i]++
 					continue
 				}
@@ -438,6 +438,13 @@ func (a *aggOp) consume(ctx *Ctx) error {
 		ctx.ChargeExpr(&meter)
 	}
 
+	if len(a.groupBy) == 0 && len(order) == 0 {
+		// A global aggregate always yields one row: COUNT is 0 and the
+		// value aggregates are NULL when no input rows arrived.
+		groups[""] = newAggState(len(a.aggs))
+		order = append(order, "")
+	}
+
 	a.results = make([]expr.Row, 0, len(order))
 	for _, key := range order {
 		st := groups[key]
@@ -446,6 +453,11 @@ func (a *aggOp) consume(ctx *Ctx) error {
 		for i, spec := range a.aggs {
 			switch spec.Func {
 			case plan.Sum:
+				// SUM over zero non-NULL inputs is NULL, not 0.
+				if st.counts[i] == 0 {
+					out = append(out, expr.Null())
+					continue
+				}
 				out = append(out, expr.Float(st.sums[i]))
 			case plan.Count:
 				out = append(out, expr.Int(st.counts[i]))

@@ -1,0 +1,318 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/plan"
+	"ecodb/internal/storage"
+)
+
+// Morsel-driven parallel execution.
+//
+// The serial pipeline already flows page-granular batches; a morsel is
+// exactly one of those pages. The dispatcher below fans pages out to N
+// worker goroutines, each running a compiled scan→filter→project fragment
+// over its morsel with a private expr.Cost meter, and a coordinator merges
+// finished morsels back IN PAGE ORDER. Only the coordinator ever touches
+// the simulated machine — buffer pool accesses, page hooks, and cycle
+// charges are replayed during the merge in exactly the sequence the serial
+// scanOp/filterOp/projectOp chain produces them. Real wall-clock therefore
+// scales with cores while simulated results, durations, and joules are
+// bit-identical to Compile's serial path, independent of goroutine
+// interleaving and worker count. Multi-core simulated time remains the
+// engine's business: it charges work via cpu.SetParallelism exactly as
+// before.
+
+// CompileParallel is the single plan-lowering path: with workers > 1 it
+// replaces every maximal scan→filter→project chain with a morsel-driven
+// parallel operator spread across workers goroutines; with workers <= 1
+// (or for plan shapes with no eligible fragment) the same switch lowers
+// to the serial operator set. Unknown node types panic: the operator set
+// is closed.
+func CompileParallel(n plan.Node, workers int) Operator {
+	if workers > 1 {
+		if f, ok := planFragment(n); ok {
+			return &morselExec{frag: f, workers: workers}
+		}
+	}
+	switch n := n.(type) {
+	case *plan.Scan:
+		return &scanOp{table: n.Table, filter: n.Filter}
+	case *plan.Filter:
+		return &filterOp{input: CompileParallel(n.Input, workers), pred: n.Pred}
+	case *plan.HashJoin:
+		return &hashJoinOp{
+			build: CompileParallel(n.Build, workers), probe: CompileParallel(n.Probe, workers),
+			buildKey: n.BuildKey, probeKey: n.ProbeKey,
+			residual: n.Residual, schema: n.Schema(),
+		}
+	case *plan.Project:
+		return &projectOp{input: CompileParallel(n.Input, workers), exprs: n.Exprs, schema: n.Schema()}
+	case *plan.Agg:
+		return &aggOp{input: CompileParallel(n.Input, workers), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
+	case *plan.Sort:
+		return &sortOp{input: CompileParallel(n.Input, workers), keys: n.Keys}
+	case *plan.Limit:
+		return &limitOp{input: CompileParallel(n.Input, workers), n: n.N}
+	default:
+		panic(fmt.Sprintf("exec: cannot compile %T", n))
+	}
+}
+
+// fragStage is one worker-side stage of a fragment: a filter predicate or
+// a projection list applied to a morsel's surviving rows.
+type fragStage struct {
+	pred  expr.Expr   // non-nil for a filter stage
+	exprs []expr.Expr // non-nil for a project stage
+}
+
+// fragment is a scan→filter→project chain compiled for morsel execution:
+// it can evaluate one page entirely in a worker, with no access to shared
+// executor state.
+type fragment struct {
+	table      *catalog.Table
+	scanFilter expr.Expr
+	stages     []fragStage
+	schema     *catalog.Schema
+}
+
+// planFragment recognizes plan subtrees that are pure scan→filter→project
+// chains — the pipeline fragments morsel workers can run.
+func planFragment(n plan.Node) (*fragment, bool) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		return &fragment{table: n.Table, scanFilter: n.Filter, schema: n.Schema()}, true
+	case *plan.Filter:
+		f, ok := planFragment(n.Input)
+		if !ok {
+			return nil, false
+		}
+		f.stages = append(f.stages, fragStage{pred: n.Pred})
+		return f, true
+	case *plan.Project:
+		f, ok := planFragment(n.Input)
+		if !ok {
+			return nil, false
+		}
+		f.stages = append(f.stages, fragStage{exprs: n.Exprs})
+		f.schema = n.Schema()
+		return f, true
+	default:
+		return nil, false
+	}
+}
+
+// morselResult is one page's worth of finished worker output: the
+// surviving rows plus everything the coordinator needs to replay the
+// page's simulated accounting — byte/row counts for the scan charges and
+// one private cost meter per pipeline stage, charged in stage order so the
+// floating-point accumulation matches the serial pipeline bit for bit.
+type morselResult struct {
+	idx       int
+	pageBytes int64
+	pageRows  int
+	rows      []expr.Row
+	meters    []expr.Cost // scan-filter meter first, then one per stage
+	batch     expr.Batch  // handed to the consumer; aliases rows
+}
+
+// run executes the fragment over one page in worker context: real
+// computation and private cost metering only, no simulated-machine access.
+func (f *fragment) run(idx int, page *storage.Page) *morselResult {
+	res := &morselResult{
+		idx: idx, pageBytes: page.Bytes, pageRows: len(page.Rows),
+		meters: make([]expr.Cost, 1+len(f.stages)),
+	}
+	rows := page.Rows
+	if f.scanFilter != nil {
+		out := expr.NewBatch(len(rows))
+		expr.FilterBatch(f.scanFilter, rows, out, &res.meters[0])
+		rows = out.Rows
+	}
+	for i := range f.stages {
+		st := &f.stages[i]
+		m := &res.meters[1+i]
+		if st.pred != nil {
+			out := expr.NewBatch(len(rows))
+			expr.FilterBatch(st.pred, rows, out, m)
+			rows = out.Rows
+			continue
+		}
+		rows = projectRows(st.exprs, rows, m)
+	}
+	res.rows = rows
+	return res
+}
+
+// projectRows mirrors projectOp.Next: expressions are evaluated
+// column-at-a-time (the same Eval call order, so the charged cycles are
+// identical), written directly into one fresh backing allocation — output
+// rows may be retained downstream.
+func projectRows(exprs []expr.Expr, in []expr.Row, m *expr.Cost) []expr.Row {
+	if len(in) == 0 {
+		return nil
+	}
+	n, width := len(in), len(exprs)
+	backing := make([]expr.Value, n*width)
+	for c, e := range exprs {
+		for r, row := range in {
+			backing[r*width+c] = e.Eval(row, m)
+		}
+	}
+	out := make([]expr.Row, n)
+	for r := 0; r < n; r++ {
+		out[r] = expr.Row(backing[r*width : (r+1)*width : (r+1)*width])
+	}
+	return out
+}
+
+// morselExec is the morsel-driven parallel leaf operator: a dispatcher
+// that fans a table's pages across worker goroutines and a coordinator
+// (Next) that merges finished morsels in deterministic page order.
+type morselExec struct {
+	frag    *fragment
+	workers int
+
+	src     *storage.MorselSource
+	results chan *morselResult
+	tickets chan struct{} // claim window: bounds morsels in flight + reordered
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	pending map[int]*morselResult // finished out-of-order morsels by index
+	nextIdx int
+	total   int
+}
+
+func (m *morselExec) Schema() *catalog.Schema { return m.frag.schema }
+
+// Open starts the worker pool. A worker must hold a ticket to claim a
+// morsel and the coordinator refunds one per morsel it merges, so the
+// morsels that are in flight or waiting to be merged never exceed the
+// window — a straggler on page 0 cannot make the rest of the pool race
+// ahead and buffer the whole table in the reorder map. The results
+// channel's capacity equals the window, so a held ticket guarantees the
+// send never blocks and the pool can always drain on its own.
+func (m *morselExec) Open(*Ctx) error {
+	heap := m.frag.table.Heap
+	m.src = storage.NewMorselSource(heap)
+	m.total = m.src.NumMorsels()
+	m.nextIdx = 0
+	if m.total <= 1 {
+		// Nothing to overlap: Next runs the fragment inline, sparing
+		// tiny-table scans (TPC-H region, nation) the pool setup.
+		return nil
+	}
+	pool := m.workers
+	if pool > m.total {
+		pool = m.total
+	}
+	m.pending = make(map[int]*morselResult, pool)
+	m.stop = make(chan struct{})
+	window := 4 * pool
+	m.results = make(chan *morselResult, window)
+	m.tickets = make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		m.tickets <- struct{}{}
+	}
+	for w := 0; w < pool; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return nil
+}
+
+func (m *morselExec) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.tickets:
+		case <-m.stop:
+			return
+		}
+		idx, page, ok := m.src.Next()
+		if !ok {
+			return
+		}
+		m.results <- m.frag.run(idx, page) // never blocks: ticket held
+	}
+}
+
+// Next merges worker results in page order, replaying each page's
+// simulated accounting exactly as the serial scan pipeline produces it:
+// flush the previous page's cost window, touch the buffer pool, fire the
+// page hook, charge scan work, then drain the stage meters in pipeline
+// order.
+func (m *morselExec) Next(ctx *Ctx) (*expr.Batch, error) {
+	for m.nextIdx < m.total {
+		var res *morselResult
+		if m.results == nil {
+			// Inline path: the heap was too small to fan out.
+			idx, page, _ := m.src.Next()
+			res = m.frag.run(idx, page)
+		} else if r, ok := m.pending[m.nextIdx]; ok {
+			delete(m.pending, m.nextIdx)
+			res = r
+		} else {
+			r := <-m.results
+			m.pending[r.idx] = r
+			continue
+		}
+		m.nextIdx++
+		if m.tickets != nil {
+			// Refund the claim ticket only now that the morsel is being
+			// merged: results that were merely buffered out of order in
+			// m.pending still count against the window, so a straggler
+			// on the next-to-merge page cannot let the rest of the pool
+			// race ahead and buffer the whole table. The send cannot
+			// block — refunds never exceed claims — and cannot deadlock:
+			// pages are claimed in contiguous order, so the next-to-merge
+			// page is always already claimed whenever tickets are scarce.
+			m.tickets <- struct{}{}
+		}
+		if b := m.merge(ctx, res); b != nil {
+			return b, nil
+		}
+	}
+	// End of heap: flush the final page's window, as the serial scan does
+	// when it discovers the heap is exhausted.
+	ctx.Flush()
+	return nil, nil
+}
+
+// merge replays one page's simulated accounting and returns its batch, or
+// nil for an empty post-filter page (charged and skipped, like the serial
+// scanOp's read-until-non-empty loop).
+func (m *morselExec) merge(ctx *Ctx, res *morselResult) *expr.Batch {
+	ctx.Flush() // close the previous page's pipeline-wide cost window
+	if ctx.Pool != nil {
+		ctx.Pool.Access(storage.PageID{Table: m.frag.table.Name, Index: res.idx}, res.pageBytes)
+	}
+	if ctx.PageHook != nil {
+		ctx.PageHook()
+	}
+	ctx.Charge(cpu.Stream, ctx.Cost.PageStreamCyclesPerKB*float64(res.pageBytes)/1024)
+	ctx.Charge(cpu.Compute, ctx.Cost.ScanTupleCycles*float64(res.pageRows))
+	ctx.Charge(cpu.MemStall, ctx.Cost.ScanTupleStallCycles*float64(res.pageRows))
+	for i := range res.meters {
+		ctx.ChargeExpr(&res.meters[i])
+	}
+	if len(res.rows) > 0 {
+		res.batch.Rows = res.rows
+		return &res.batch
+	}
+	return nil
+}
+
+// Close stops the workers and waits for them to exit. It is idempotent.
+func (m *morselExec) Close(*Ctx) error {
+	if m.stop != nil {
+		close(m.stop)
+		m.wg.Wait()
+	}
+	m.src, m.results, m.tickets, m.stop, m.pending = nil, nil, nil, nil, nil
+	return nil
+}

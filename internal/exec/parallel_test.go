@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"testing"
+
+	"ecodb/internal/energy"
+	"ecodb/internal/expr"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/plan"
+	"ecodb/internal/sim"
+	"ecodb/internal/storage"
+)
+
+// outcome captures everything a run charges to the simulated machine, for
+// exact comparison across worker counts.
+type outcome struct {
+	rows   []expr.Row
+	now    sim.Time
+	stats  cpu.Stats
+	joules energy.Joules
+	hooks  int
+	pool   storage.PoolStats
+}
+
+// runWorkers executes the plan with the given worker count on a fresh
+// simulated machine (optionally disk-backed) and returns the outcome.
+// workers <= 1 exercises the serial Compile path.
+func runWorkers(t *testing.T, p plan.Node, workers int, withPool bool) outcome {
+	t.Helper()
+	ctx, clock := testCtx()
+	var out outcome
+	if withPool {
+		ctx.Pool = storage.NewBufferPool(1<<20, readerFunc(func(n int64, seq bool) {
+			clock.Advance(sim.Millisecond)
+		}))
+	}
+	ctx.PageHook = func() { out.hooks++ }
+	op := CompileParallel(p, workers)
+	if err := Drain(ctx, op, func(b *expr.Batch) error {
+		out.rows = append(out.rows, b.Rows...)
+		return nil
+	}); err != nil {
+		t.Fatalf("drain (workers=%d): %v", workers, err)
+	}
+	ctx.Flush()
+	out.now = clock.Now()
+	out.stats = ctx.CPU.Stats()
+	out.joules = ctx.CPU.Trace().Energy(0, clock.Now())
+	if ctx.Pool != nil {
+		out.pool = ctx.Pool.Stats()
+	}
+	return out
+}
+
+// assertOutcomesIdentical requires bit-identical simulation results: same
+// rows, same simulated clock, same charged cycles by kind, same joules,
+// same pool traffic and page hooks.
+func assertOutcomesIdentical(t *testing.T, want, got outcome, label string) {
+	t.Helper()
+	if len(got.rows) != len(want.rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.rows), len(want.rows))
+	}
+	for i := range got.rows {
+		if len(got.rows[i]) != len(want.rows[i]) {
+			t.Fatalf("%s: row %d arity differs", label, i)
+		}
+		for c := range got.rows[i] {
+			if got.rows[i][c] != want.rows[i][c] {
+				t.Fatalf("%s: row %d col %d: %v != %v", label, i, c, got.rows[i][c], want.rows[i][c])
+			}
+		}
+	}
+	if got.now != want.now {
+		t.Fatalf("%s: simulated time %v != %v", label, got.now, want.now)
+	}
+	if got.stats != want.stats {
+		t.Fatalf("%s: cpu stats differ:\n got %+v\nwant %+v", label, got.stats, want.stats)
+	}
+	if got.joules != want.joules {
+		t.Fatalf("%s: joules %v != %v", label, got.joules, want.joules)
+	}
+	if got.hooks != want.hooks {
+		t.Fatalf("%s: page hooks %d != %d", label, got.hooks, want.hooks)
+	}
+	if got.pool != want.pool {
+		t.Fatalf("%s: pool stats %+v != %+v", label, got.pool, want.pool)
+	}
+}
+
+// parallelPlans is the matrix of plan shapes the morsel executor must
+// reproduce bit-identically: bare and filtered scans (fast-path and
+// interpreted predicates), filter→project chains folded into the
+// fragment, and parallel leaves under agg, join, sort and limit.
+func parallelPlans(t *testing.T) map[string]plan.Node {
+	t.Helper()
+	tb := numbersTable(t, "t", 5000)
+	other := numbersTable(t, "o", 1200)
+	k, v := tb.Schema.Col("k"), tb.Schema.Col("v")
+	interp := expr.And{Terms: []expr.Expr{
+		expr.Cmp{Op: expr.GE, L: k, R: expr.Const{V: expr.Int(100)}},
+		expr.Cmp{Op: expr.LT, L: v, R: expr.Const{V: expr.Int(40000)}},
+	}}
+	return map[string]plan.Node{
+		"scan":          plan.NewScan(tb, nil),
+		"filtered-scan": plan.NewScan(tb, expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(700)}}),
+		"filter-project-chain": plan.NewProject(
+			plan.NewFilter(plan.NewScan(tb, nil), interp),
+			[]expr.Expr{expr.Arith{Op: expr.Add, L: k, R: v}, k},
+			[]string{"sum", "k"}, []expr.Kind{expr.KindFloat, expr.KindInt}),
+		"agg-over-parallel-scan": plan.NewAgg(
+			plan.NewScan(tb, expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(2000)}}),
+			nil,
+			[]plan.AggSpec{{Func: plan.Sum, Arg: v, Name: "s"}, {Func: plan.Count, Name: "c"}}),
+		"join-of-parallel-scans": plan.NewHashJoin(
+			plan.NewScan(other, nil),
+			plan.NewScan(tb, expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(600)}}),
+			other.Schema.MustIndex("k"), tb.Schema.MustIndex("k"), nil),
+		"sort-limit": plan.NewLimit(
+			plan.NewSort(plan.NewScan(tb, nil), plan.SortKey{Col: 0, Desc: true}), 37),
+	}
+}
+
+func TestParallelMatchesSerialBitIdentically(t *testing.T) {
+	for name, p := range parallelPlans(t) {
+		for _, withPool := range []bool{false, true} {
+			serial := runWorkers(t, p, 1, withPool)
+			if len(serial.rows) == 0 && name != "agg-over-parallel-scan" {
+				// every non-agg shape must produce rows for the test to bite
+				t.Fatalf("%s: serial run produced no rows", name)
+			}
+			for _, w := range []int{2, 3, 4, 8} {
+				got := runWorkers(t, p, w, withPool)
+				assertOutcomesIdentical(t, serial, got, name)
+			}
+		}
+	}
+}
+
+func TestParallelRepeatedRunsBitIdentical(t *testing.T) {
+	plans := parallelPlans(t)
+	p := plans["filter-project-chain"]
+	first := runWorkers(t, p, 4, true)
+	for i := 0; i < 3; i++ {
+		assertOutcomesIdentical(t, first, runWorkers(t, p, 4, true), "repeat")
+	}
+}
+
+func TestCompileParallelFoldsFragments(t *testing.T) {
+	tb := numbersTable(t, "t", 100)
+	k := tb.Schema.Col("k")
+	chain := plan.NewProject(
+		plan.NewFilter(plan.NewScan(tb, nil),
+			expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(10)}}),
+		[]expr.Expr{k}, []string{"k"}, []expr.Kind{expr.KindInt})
+
+	if _, ok := CompileParallel(chain, 4).(*morselExec); !ok {
+		t.Fatal("scan→filter→project chain should fold into one morsel operator")
+	}
+	if _, ok := CompileParallel(chain, 1).(*morselExec); ok {
+		t.Fatal("workers=1 must fall back to the serial operators")
+	}
+	// An agg root is not a fragment; its input chain still folds.
+	agg := plan.NewAgg(chain, nil, []plan.AggSpec{{Func: plan.Count, Name: "c"}})
+	root, ok := CompileParallel(agg, 4).(*aggOp)
+	if !ok {
+		t.Fatalf("agg root compiled to %T", CompileParallel(agg, 4))
+	}
+	if _, ok := root.input.(*morselExec); !ok {
+		t.Fatalf("agg input compiled to %T, want morsel fragment", root.input)
+	}
+}
+
+func TestMorselExecSchemaTracksFragment(t *testing.T) {
+	tb := numbersTable(t, "t", 50)
+	k := tb.Schema.Col("k")
+	proj := plan.NewProject(plan.NewScan(tb, nil),
+		[]expr.Expr{expr.Arith{Op: expr.Mul, L: k, R: k}},
+		[]string{"k2"}, []expr.Kind{expr.KindFloat})
+	op := CompileParallel(proj, 2)
+	if op.Schema().NumCols() != 1 || op.Schema().Columns()[0].Name != "k2" {
+		t.Fatalf("morsel schema = %v", op.Schema().Columns())
+	}
+}
+
+func TestMorselExecEarlyCloseStopsWorkers(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 20000)
+	op := CompileParallel(plan.NewScan(tb, nil), 4)
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b, err := op.Next(ctx)
+	if err != nil || b == nil || b.Len() == 0 {
+		t.Fatalf("first batch: %v, %v", b, err)
+	}
+	// Abandon the stream mid-scan: Close must stop the worker pool
+	// without deadlocking, and be idempotent.
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMorselExecEmptyHeap(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 0)
+	op := CompileParallel(plan.NewScan(tb, nil), 4)
+	rows := collect(t, op, ctx)
+	if len(rows) != 0 {
+		t.Fatalf("empty heap produced %d rows", len(rows))
+	}
+}

@@ -1,0 +1,33 @@
+package expr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendGroupKey appends an injective binary encoding of v to dst and
+// returns the extended slice. Concatenating the encodings of several values
+// yields a key that two value tuples share exactly when they are equal
+// tuple-wise: every encoding starts with the kind tag and is either fixed
+// width or length-prefixed, so no value can masquerade as the boundary
+// between two others. This is the group-key encoding of hash aggregation —
+// the display-string keys it replaced collapsed ("x\x00","y") with
+// ("x","\x00y") and Int(1) with String("1").
+func AppendGroupKey(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+		// Kind tag alone: all NULLs belong to one group.
+	case KindBool, KindInt, KindDate:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+	case KindString:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(len(v.S)))
+		dst = append(dst, v.S...)
+	default:
+		panic(fmt.Sprintf("expr: cannot encode %v as a group key", v.Kind))
+	}
+	return dst
+}

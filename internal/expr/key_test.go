@@ -1,0 +1,60 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func groupKey(vals ...Value) string {
+	var buf []byte
+	for _, v := range vals {
+		buf = AppendGroupKey(buf, v)
+	}
+	return string(buf)
+}
+
+func TestGroupKeyInjective(t *testing.T) {
+	distinct := [][]Value{
+		{String("x\x00"), String("y")}, // boundary-shifted string pairs
+		{String("x"), String("\x00y")},
+		{String("x\x00y")}, // different arity, same concatenated bytes
+		{Int(1)},           // same display form, different kinds
+		{String("1")},
+		{Float(1)},
+		{Bool(true)},
+		{Date(1)},
+		{Null()},
+		{Int(0)},
+		{Float(0)}, // Float(0) vs Int(0) are distinct groups
+		{String("")},
+		{},
+	}
+	seen := make(map[string]int)
+	for i, tuple := range distinct {
+		k := groupKey(tuple...)
+		if j, dup := seen[k]; dup {
+			t.Fatalf("tuples %v and %v share group key %q", distinct[j], distinct[i], k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestGroupKeyEqualTuplesAgree(t *testing.T) {
+	a := groupKey(String("abc"), Int(-7), Null(), Float(2.5))
+	b := groupKey(String("abc"), Int(-7), Null(), Float(2.5))
+	if a != b {
+		t.Fatal("equal tuples produced different keys")
+	}
+}
+
+func TestGroupKeyInjectiveProperty(t *testing.T) {
+	// Random pairs of (int,string) tuples: keys collide iff tuples equal.
+	f := func(i1 int64, s1 string, i2 int64, s2 string) bool {
+		k1 := groupKey(Int(i1), String(s1))
+		k2 := groupKey(Int(i2), String(s2))
+		return (k1 == k2) == (i1 == i2 && s1 == s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

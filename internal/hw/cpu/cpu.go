@@ -156,11 +156,13 @@ type CPU struct {
 	parallelism int // cores used by Run work
 
 	// Accounting.
-	busy       sim.Duration
-	idle       sim.Duration
-	vIntegral  float64 // ∫V dt over busy time (for Figure 4 monitoring)
-	fIntegral  float64 // ∫F dt over busy time, GHz·s
-	cyclesDone float64
+	busy         sim.Duration
+	idle         sim.Duration
+	vIntegral    float64 // ∫V dt over busy time (for Figure 4 monitoring)
+	fIntegral    float64 // ∫F dt over busy time, GHz·s
+	cyclesDone   float64
+	cyclesByKind [3]float64 // indexed by WorkKind
+	coreSeconds  float64    // busy seconds weighted by parallelism
 }
 
 // New returns a CPU with the given configuration attached to clock.
@@ -278,6 +280,9 @@ func (c *CPU) SetParallelism(n int) {
 	}
 	c.parallelism = n
 }
+
+// Parallelism returns how many cores Run segments currently use.
+func (c *CPU) Parallelism() int { return c.parallelism }
 
 // FSB returns the effective front-side-bus speed after underclocking.
 func (c *CPU) FSB() MHz { return MHz(float64(c.cfg.FSB) * (1 - c.underclock)) }
@@ -452,6 +457,8 @@ func (c *CPU) Run(cycles float64, kind WorkKind) sim.Duration {
 
 	c.busy += d
 	c.cyclesDone += cycles
+	c.cyclesByKind[kind] += cycles
+	c.coreSeconds += d.Seconds() * float64(c.parallelism)
 	c.vIntegral += float64(c.Voltage(ps, c.parallelism)) * d.Seconds()
 	c.fIntegral += c.Freq(ps).GHz() * d.Seconds()
 	return d
@@ -496,6 +503,15 @@ type Stats struct {
 	Busy   sim.Duration
 	Idle   sim.Duration
 	Cycles float64
+	// CyclesByKind breaks Cycles down by work kind — the parallel work
+	// accounting the morsel executor's tests use to verify that the
+	// dispatcher charges exactly the work the serial pipeline charges.
+	CyclesByKind [3]float64
+	// CoreSeconds is busy wall time weighted by the parallelism each
+	// segment ran at: a 2-core segment of 1 s contributes 2 core-seconds.
+	// It differs from Busy exactly when SetParallelism spread work over
+	// multiple simulated cores.
+	CoreSeconds float64
 	// MeanVoltage and MeanFreqGHz are the time-weighted averages observed
 	// over busy segments — the quantities the paper monitors to build its
 	// Figure 4 theoretical EDP = V²/F comparison.
@@ -506,7 +522,10 @@ type Stats struct {
 
 // Stats returns the counters accumulated since construction or ResetStats.
 func (c *CPU) Stats() Stats {
-	s := Stats{Busy: c.busy, Idle: c.idle, Cycles: c.cyclesDone}
+	s := Stats{
+		Busy: c.busy, Idle: c.idle, Cycles: c.cyclesDone,
+		CyclesByKind: c.cyclesByKind, CoreSeconds: c.coreSeconds,
+	}
 	if c.busy > 0 {
 		s.MeanVoltage = energy.Volts(c.vIntegral / c.busy.Seconds())
 		s.MeanFreqGHz = c.fIntegral / c.busy.Seconds()
@@ -520,4 +539,6 @@ func (c *CPU) Stats() Stats {
 // ResetStats zeroes the accumulated counters (not the power trace).
 func (c *CPU) ResetStats() {
 	c.busy, c.idle, c.cyclesDone, c.vIntegral, c.fIntegral = 0, 0, 0, 0, 0
+	c.cyclesByKind = [3]float64{}
+	c.coreSeconds = 0
 }

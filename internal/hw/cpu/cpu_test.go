@@ -346,3 +346,53 @@ func TestEnergyNonNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParallelWorkAccounting(t *testing.T) {
+	c, _ := newE8500(t)
+	c.Run(2e9, Compute)
+	s1 := c.Stats()
+	if s1.CyclesByKind[Compute] != 2e9 || s1.CyclesByKind[MemStall] != 0 {
+		t.Fatalf("cycles by kind = %v", s1.CyclesByKind)
+	}
+	// At parallelism 1, core-seconds equal busy seconds.
+	if math.Abs(s1.CoreSeconds-s1.Busy.Seconds()) > 1e-12 {
+		t.Fatalf("core-seconds %v != busy %v at parallelism 1", s1.CoreSeconds, s1.Busy.Seconds())
+	}
+
+	// The same work at parallelism 2 takes half the wall time but the
+	// same core-seconds: two cores busy for half as long.
+	c.SetParallelism(2)
+	if c.Parallelism() != 2 {
+		t.Fatalf("Parallelism() = %d", c.Parallelism())
+	}
+	c.Run(2e9, Compute)
+	s2 := c.Stats()
+	wall1 := s1.Busy.Seconds()
+	wall2 := s2.Busy.Seconds() - wall1
+	if math.Abs(wall2-wall1/2) > 1e-12 {
+		t.Fatalf("parallel segment wall %v, want half of %v", wall2, wall1)
+	}
+	cs2 := s2.CoreSeconds - s1.CoreSeconds
+	if math.Abs(cs2-wall1) > 1e-12 {
+		t.Fatalf("parallel segment core-seconds %v, want %v", cs2, wall1)
+	}
+	if s2.CyclesByKind[Compute] != 4e9 {
+		t.Fatalf("compute cycles = %v, want 4e9", s2.CyclesByKind[Compute])
+	}
+
+	// Memory-paced work is accounted under its own kind.
+	c.Run(1e9, MemStall)
+	c.Run(5e8, Stream)
+	s3 := c.Stats()
+	if s3.CyclesByKind[MemStall] != 1e9 || s3.CyclesByKind[Stream] != 5e8 {
+		t.Fatalf("cycles by kind = %v", s3.CyclesByKind)
+	}
+	if got := s3.CyclesByKind[Compute] + s3.CyclesByKind[MemStall] + s3.CyclesByKind[Stream]; got != s3.Cycles {
+		t.Fatalf("kind breakdown %v does not sum to total %v", got, s3.Cycles)
+	}
+
+	c.ResetStats()
+	if s := c.Stats(); s.CoreSeconds != 0 || s.CyclesByKind != [3]float64{} {
+		t.Fatalf("ResetStats left parallel accounting: %+v", s)
+	}
+}

@@ -8,6 +8,7 @@ package sql
 import (
 	"testing"
 
+	"ecodb/internal/catalog"
 	"ecodb/internal/engine"
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/system"
@@ -183,5 +184,114 @@ func TestSQLLimitThroughBatchPipeline(t *testing.T) {
 		if res.Rows[i][0].I < res.Rows[i-1][0].I {
 			t.Fatal("limited result not ordered by l_orderkey")
 		}
+	}
+}
+
+// nullableEngine returns a memory engine with small hand-built tables
+// containing NULLs, for end-to-end coverage of the executor NULL fixes.
+func nullableEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.ProfileMySQLMemory(), system.NewSUT())
+
+	people := catalog.NewTable("people", catalog.NewSchema(
+		catalog.Column{Name: "dept", Kind: expr.KindString},
+		catalog.Column{Name: "bonus", Kind: expr.KindInt},
+	))
+	people.Insert(expr.Row{expr.String("eng"), expr.Int(10)})
+	people.Insert(expr.Row{expr.String("eng"), expr.Null()})
+	people.Insert(expr.Row{expr.String("ops"), expr.Null()})
+	e.Catalog().MustCreate(people)
+
+	left := catalog.NewTable("lhs", catalog.NewSchema(
+		catalog.Column{Name: "lk", Kind: expr.KindInt}))
+	left.Insert(expr.Row{expr.Null()})
+	left.Insert(expr.Row{expr.Int(1)})
+	e.Catalog().MustCreate(left)
+
+	right := catalog.NewTable("rhs", catalog.NewSchema(
+		catalog.Column{Name: "rk", Kind: expr.KindInt}))
+	right.Insert(expr.Row{expr.Null()})
+	right.Insert(expr.Row{expr.Int(1)})
+	e.Catalog().MustCreate(right)
+
+	empty := catalog.NewTable("nobody", catalog.NewSchema(
+		catalog.Column{Name: "x", Kind: expr.KindInt}))
+	e.Catalog().MustCreate(empty)
+
+	return e
+}
+
+func TestSQLCountColumnSkipsNulls(t *testing.T) {
+	e := nullableEngine(t)
+	res, _ := e.Exec(mustPlan(t, e, `
+		SELECT dept, COUNT(bonus) AS with_bonus, COUNT(*) AS everyone
+		FROM people GROUP BY dept ORDER BY dept`))
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Rows))
+	}
+	eng, ops := res.Rows[0], res.Rows[1]
+	if eng[1].I != 1 || eng[2].I != 2 {
+		t.Fatalf("eng: COUNT(bonus)=%v COUNT(*)=%v, want 1 and 2", eng[1], eng[2])
+	}
+	if ops[1].I != 0 || ops[2].I != 1 {
+		t.Fatalf("ops: COUNT(bonus)=%v COUNT(*)=%v, want 0 and 1", ops[1], ops[2])
+	}
+}
+
+func TestSQLGlobalAggregateOverEmptyTable(t *testing.T) {
+	e := nullableEngine(t)
+	res, st := e.Exec(mustPlan(t, e,
+		`SELECT COUNT(*) AS c, SUM(x) AS s, MIN(x) AS mn FROM nobody`))
+	if len(res.Rows) != 1 || st.RowsOut != 1 {
+		t.Fatalf("global aggregate over empty table returned %d rows, want 1", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r[0].I != 0 {
+		t.Fatalf("COUNT(*) = %v, want 0", r[0])
+	}
+	if !r[1].IsNull() || !r[2].IsNull() {
+		t.Fatalf("SUM/MIN over empty table = %v/%v, want NULL/NULL", r[1], r[2])
+	}
+}
+
+func TestSQLJoinIgnoresNullKeys(t *testing.T) {
+	e := nullableEngine(t)
+	res, _ := e.Exec(mustPlan(t, e,
+		`SELECT * FROM lhs JOIN rhs ON rk = lk`))
+	if len(res.Rows) != 1 {
+		t.Fatalf("NULL-key join returned %d rows, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 1 || res.Rows[0][1].I != 1 {
+		t.Fatalf("joined row = %v, want (1,1)", res.Rows[0])
+	}
+}
+
+func TestSQLResultsWorkerInvariant(t *testing.T) {
+	// The same SQL statement executed with and without morsel parallelism
+	// returns identical rows and identical simulated statistics.
+	query := `
+		SELECT l_quantity AS q, COUNT(*) AS n
+		FROM lineitem
+		WHERE l_quantity <= 30
+		GROUP BY l_quantity
+		ORDER BY q`
+	serialProf := engine.ProfileMySQLMemory()
+	parallelProf := serialProf
+	parallelProf.Workers = 4
+
+	mk := func(prof engine.Profile) *engine.Engine {
+		e := engine.New(prof, system.NewSUT())
+		tpch.NewGenerator(0.01, 42).Load(e.Catalog(), tpch.Lineitem)
+		return e
+	}
+	e1, e2 := mk(serialProf), mk(parallelProf)
+	r1, st1 := e1.Exec(mustPlan(t, e1, query))
+	r2, st2 := e2.Exec(mustPlan(t, e2, query))
+	if len(r1.Rows) == 0 {
+		t.Fatal("query returned no rows")
+	}
+	assertRowsEqual(t, r2.Rows, r1.Rows)
+	if st1 != st2 {
+		t.Fatalf("stats diverge across worker counts: %+v vs %+v", st1, st2)
 	}
 }

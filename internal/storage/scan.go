@@ -1,6 +1,10 @@
 package storage
 
-import "ecodb/internal/expr"
+import (
+	"sync/atomic"
+
+	"ecodb/internal/expr"
+)
 
 // PageScan is a stateful cursor over a heap's pages — the storage half of
 // the executor's batch pipeline. Each step surfaces one page through the
@@ -39,3 +43,34 @@ func (s *PageScan) ReadInto(dst *expr.Batch) (bytes int64, rows int, ok bool) {
 
 // Reset rewinds the cursor to the first page.
 func (s *PageScan) Reset() { s.next = 0 }
+
+// MorselSource hands out a heap's pages to concurrent workers, one page —
+// one morsel — at a time. It is the storage half of the morsel-driven
+// parallel executor: a handout is a single atomic increment, so any number
+// of worker goroutines can claim morsels without locking. Buffer-pool
+// accounting is deliberately absent here — the pool and the rest of the
+// simulated machine are single-threaded, so the executor's coordinator
+// replays pool accesses in page order while merging worker results, which
+// keeps simulated time and energy deterministic.
+type MorselSource struct {
+	heap *Heap
+	next atomic.Int64
+}
+
+// NewMorselSource returns a concurrent cursor over heap's pages.
+func NewMorselSource(heap *Heap) *MorselSource {
+	return &MorselSource{heap: heap}
+}
+
+// NumMorsels returns how many morsels (pages) the source serves in total.
+func (s *MorselSource) NumMorsels() int { return s.heap.NumPages() }
+
+// Next claims the next unclaimed page, returning its index and contents;
+// ok is false once the heap is exhausted. Safe for concurrent use.
+func (s *MorselSource) Next() (idx int, page *Page, ok bool) {
+	i := int(s.next.Add(1)) - 1
+	if i >= s.heap.NumPages() {
+		return 0, nil, false
+	}
+	return i, s.heap.Page(i), true
+}

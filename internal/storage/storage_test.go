@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -232,5 +233,55 @@ func TestBufferPoolInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMorselSourceHandsOutEveryPageOnce(t *testing.T) {
+	h := NewHeap(256)
+	for i := 0; i < 2000; i++ {
+		h.Append(expr.Row{expr.Int(int64(i))})
+	}
+	src := NewMorselSource(h)
+	if src.NumMorsels() != h.NumPages() {
+		t.Fatalf("NumMorsels = %d, want %d", src.NumMorsels(), h.NumPages())
+	}
+
+	var mu sync.Mutex
+	claimed := make(map[int]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx, page, ok := src.Next()
+				if !ok {
+					return
+				}
+				if page != h.Page(idx) {
+					t.Errorf("morsel %d handed the wrong page", idx)
+					return
+				}
+				mu.Lock()
+				claimed[idx]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(claimed) != h.NumPages() {
+		t.Fatalf("workers claimed %d distinct pages, want %d", len(claimed), h.NumPages())
+	}
+	for idx, n := range claimed {
+		if n != 1 {
+			t.Fatalf("page %d handed out %d times", idx, n)
+		}
+	}
+}
+
+func TestMorselSourceEmptyHeap(t *testing.T) {
+	src := NewMorselSource(NewHeap(0))
+	if _, _, ok := src.Next(); ok {
+		t.Fatal("empty heap handed out a morsel")
 	}
 }
