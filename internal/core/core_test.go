@@ -8,6 +8,7 @@ import (
 	"ecodb/internal/engine"
 	"ecodb/internal/hw/cpu"
 	"ecodb/internal/mqo"
+	"ecodb/internal/plan"
 	"ecodb/internal/sim"
 	"ecodb/internal/tpch"
 	"ecodb/internal/workload"
@@ -236,6 +237,140 @@ func TestQEDFallsBackWhenUnmergeable(t *testing.T) {
 	// Sequential fallback: the first query finishes before the second.
 	if res.Queries[0].End >= res.Queries[1].End {
 		t.Fatal("fallback should execute sequentially")
+	}
+}
+
+// The QED-layer acceptance test for the shared-scan flush: a non-mergeable
+// batch served by one pass returns the same per-query cardinalities as
+// sequential execution, costs less energy, and its simulated
+// joules-per-query strictly decrease as the batch grows.
+func TestQEDSharedScanFlushSavesJoulesPerQuery(t *testing.T) {
+	bandSystem := func() *System {
+		prof := engine.ProfileMySQLMemory()
+		sys := NewSystem(prof)
+		tpch.NewGenerator(0.01, 5).Load(sys.Engine.Catalog(), tpch.Lineitem)
+		return sys
+	}
+
+	// Cardinalities: shared flush must match the sequential fallback.
+	sysA := bandSystem()
+	bands := workload.NewQueries("band", tpch.QuantityBandWorkload(sysA.Engine.Catalog(), 6))
+	seq := NewQED(sysA, 6, mqo.OrChain).RunBatch(bands) // SharedScan off: sequential fallback
+	shared := func(sys *System, qs []workload.Query) workload.RunResult {
+		qed := NewQED(sys, 2, mqo.OrChain)
+		qed.SharedScan = true
+		return qed.RunBatch(qs)
+	}
+	sh := shared(sysA, bands)
+	for i := range bands {
+		if sh.Queries[i].Rows != seq.Queries[i].Rows {
+			t.Fatalf("query %d: shared %d rows vs sequential %d", i, sh.Queries[i].Rows, seq.Queries[i].Rows)
+		}
+	}
+	if sh.Total >= seq.Total {
+		t.Fatalf("shared flush %v not faster than sequential %v", sh.Total, seq.Total)
+	}
+
+	// Joules-per-query strictly decrease with batch size — each query pays
+	// its own CPU but the pass is amortized. N identical full-table scans
+	// (not mergeable: no predicate to fold) per point, each N on a fresh
+	// system, exact trace integral (no sampling noise).
+	var perQuery []energy.Joules
+	for _, n := range []int{1, 2, 4, 8} {
+		sys := bandSystem()
+		li := sys.Engine.MustTable(tpch.Lineitem)
+		plans := make([]plan.Node, n)
+		for i := range plans {
+			plans[i] = plan.NewScan(li, nil)
+		}
+		qs := workload.NewQueries("full", plans)
+		clock := sys.Machine.Clock
+		t0 := clock.Now()
+		if n == 1 {
+			// A QED batch of one has nothing to share; the sequential
+			// fallback is the baseline point.
+			workload.RunSequential(sys.Engine, clock, qs)
+		} else {
+			shared(sys, qs)
+		}
+		perQuery = append(perQuery, energy.PerQuery(sys.Machine.CPU.Trace().Energy(t0, clock.Now()), n))
+	}
+	for i := 1; i < len(perQuery); i++ {
+		if perQuery[i] >= perQuery[i-1] {
+			t.Fatalf("joules-per-query not strictly decreasing: %v", perQuery)
+		}
+	}
+}
+
+// A batch that is only PARTIALLY mergeable — some identical-shape equality
+// selections plus one range selection — defeats mqo.Merge entirely (merge
+// is all-or-nothing), so QED serves the whole batch sequentially, or from
+// one shared pass when SharedScan is on; either way every query's
+// cardinality is preserved.
+func TestQEDFlushPartiallyMergeableBatch(t *testing.T) {
+	sys, _ := testSystem(t)
+	cat := sys.Engine.Catalog()
+	plans := tpch.QuantityWorkload(cat, 3) // mergeable trio
+	plans = append(plans, tpch.QuantityBandQuery(cat, 11, 2))
+	queries := workload.NewQueries("mix", plans)
+
+	want := workload.RunSequential(sys.Engine, sys.Machine.Clock, queries)
+
+	// SharedScan off: sequential fallback (queries finish one after another).
+	qed := NewQED(sys, len(queries), mqo.OrChain)
+	for i, q := range queries[:3] {
+		if res := qed.Submit(q); res != nil {
+			t.Fatalf("flush fired early at %d", i)
+		}
+	}
+	res := qed.Submit(queries[3])
+	if res == nil {
+		t.Fatal("flush did not fire at the batch threshold")
+	}
+	for i := range queries {
+		if res.Queries[i].Rows != want.Queries[i].Rows {
+			t.Fatalf("query %d: %d rows vs sequential %d", i, res.Queries[i].Rows, want.Queries[i].Rows)
+		}
+	}
+	for i := 1; i < len(res.Queries); i++ {
+		if res.Queries[i-1].End >= res.Queries[i].End {
+			t.Fatal("partially mergeable batch should fall back to sequential execution")
+		}
+	}
+
+	// SharedScan on: the same mixed batch rides one pass — all queries
+	// issued together and cardinalities unchanged.
+	qedSh := NewQED(sys, len(queries), mqo.OrChain)
+	qedSh.SharedScan = true
+	resSh := qedSh.RunBatch(queries)
+	for i := range queries {
+		if resSh.Queries[i].Rows != want.Queries[i].Rows {
+			t.Fatalf("shared query %d: %d rows vs sequential %d", i, resSh.Queries[i].Rows, want.Queries[i].Rows)
+		}
+		if resSh.Queries[i].Start != 0 {
+			t.Fatalf("shared query %d started at %v, want batch issue", i, resSh.Queries[i].Start)
+		}
+	}
+}
+
+// Fully mergeable batches must keep taking the merged path even with
+// SharedScan on — predicate merging subsumes scan sharing.
+func TestQEDSharedScanKeepsMergedPathWhenMergeable(t *testing.T) {
+	// Two identical fresh systems so the durations are bit-comparable.
+	sysA, queriesA := testSystem(t)
+	t0 := sysA.Machine.Clock.Now()
+	NewQED(sysA, len(queriesA), mqo.OrChain).RunBatch(queriesA)
+	mergedTime := sysA.Machine.Clock.Now().Sub(t0)
+
+	sysB, queriesB := testSystem(t)
+	qed := NewQED(sysB, len(queriesB), mqo.OrChain)
+	qed.SharedScan = true
+	t1 := sysB.Machine.Clock.Now()
+	qed.RunBatch(queriesB)
+	sharedTime := sysB.Machine.Clock.Now().Sub(t1)
+
+	if sharedTime != mergedTime {
+		t.Fatalf("SharedScan changed the mergeable path: %v vs %v", sharedTime, mergedTime)
 	}
 }
 

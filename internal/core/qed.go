@@ -22,6 +22,14 @@ type QED struct {
 	// Strategy selects the merged-predicate implementation; the paper's
 	// engines evaluate an OR chain.
 	Strategy mqo.MergeStrategy
+	// SharedScan enables the shared-scan flush mode: a batch the merger
+	// rejects (heterogeneous predicates, mixed tables — anything beyond
+	// mqo's identical-selection shape) is served by one circular heap
+	// pass per table via engine.SharedSession instead of running
+	// sequentially, extending QED's energy amortization to arbitrary
+	// concurrent scans. Mergeable batches still take the merged path,
+	// which subsumes sharing (one scan and one predicate pass).
+	SharedScan bool
 
 	queue []workload.Query
 }
@@ -64,8 +72,10 @@ func (q *QED) Flush() workload.RunResult {
 }
 
 // RunBatch executes one batch the QED way. If the whole batch cannot be
-// merged, it falls back to sequential execution (the paper's queue
-// examination step finds no common components).
+// merged (the paper's queue examination step finds no common components),
+// it falls back to a shared-scan flush when SharedScan is set — the
+// non-mergeable queries still share one heap pass per table — and to
+// sequential execution otherwise.
 func (q *QED) RunBatch(queries []workload.Query) workload.RunResult {
 	plans := make([]plan.Node, len(queries))
 	for i := range queries {
@@ -73,6 +83,9 @@ func (q *QED) RunBatch(queries []workload.Query) workload.RunResult {
 	}
 	merged, err := mqo.Merge(plans, q.Strategy)
 	if err != nil {
+		if q.SharedScan && len(queries) > 1 {
+			return workload.RunShared(q.Sys.Engine, q.Sys.Machine.Clock, queries)
+		}
 		return workload.RunSequential(q.Sys.Engine, q.Sys.Machine.Clock, queries)
 	}
 

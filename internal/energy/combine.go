@@ -15,6 +15,17 @@ func TotalAt(t sim.Time, traces ...*Trace) Watts {
 	return w
 }
 
+// PerQuery amortizes a batch's energy over its n queries — the
+// joules-per-query metric shared-work evaluations report (one heap pass
+// serving n consumers divides its shared I/O and streaming joules by n).
+// Non-positive n returns total unchanged.
+func PerQuery(total Joules, n int) Joules {
+	if n <= 1 {
+		return total
+	}
+	return Joules(float64(total) / float64(n))
+}
+
 // Integrate computes ∫ f(Σ traces) dt over [t0, t1] exactly, by walking the
 // union of all traces' breakpoints. The transform f lets callers model a
 // nonlinear stage between the summed draw and the measured quantity — the

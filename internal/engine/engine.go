@@ -148,6 +148,17 @@ type Rows struct {
 // consumer pulls. The old fully-materialized Exec is a thin wrapper over
 // this.
 func (e *Engine) Query(p plan.Node) *Rows {
+	// Eligible scan→filter→project fragments run morsel-parallel across
+	// the profile's worker goroutines; CompileParallel falls back to the
+	// serial operators for Workers <= 1. Simulated accounting is
+	// worker-count invariant either way.
+	return e.startQuery(exec.CompileParallel(p, e.prof.Workers))
+}
+
+// startQuery charges statement overhead, builds the execution context, and
+// opens op as a streaming result — the shared tail of Query and the
+// shared-scan admission path (see SharedSession).
+func (e *Engine) startQuery(op exec.Operator) *Rows {
 	c := e.mach.CPUModel()
 	c.SetParallelism(e.prof.Parallelism)
 	// The machine is single-threaded between pulls: parallelism is raised
@@ -174,11 +185,7 @@ func (e *Engine) Query(p plan.Node) *Rows {
 		}
 	}
 	r.ctx = ctx
-	// Eligible scan→filter→project fragments run morsel-parallel across
-	// the profile's worker goroutines; CompileParallel falls back to the
-	// serial operators for Workers <= 1. Simulated accounting is
-	// worker-count invariant either way.
-	r.op = exec.CompileParallel(p, e.prof.Workers)
+	r.op = op
 	if err := r.op.Open(ctx); err != nil {
 		// No operator errors today; finalize so the iterator is inert.
 		r.finish()

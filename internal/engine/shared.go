@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"ecodb/internal/catalog"
+	"ecodb/internal/exec"
+	"ecodb/internal/plan"
+	"ecodb/internal/scanshare"
+)
+
+// SharedSession is the shared-scan admission path: streaming queries
+// started through it route every scan leaf in their plans through a
+// per-table scanshare.Coordinator, so concurrent queries over the same
+// table ride one circular heap pass — buffer-pool accesses, disk reads and
+// page streaming are charged once per pass while each query pays its own
+// per-tuple CPU. Plain Engine.Query and Exec are unchanged (private scans).
+//
+// The session follows the engine's cooperative single-threaded execution
+// model: interleave pulls on the returned Rows iterators from one
+// goroutine (e.g. round-robin, as workload.RunShared does). Queries
+// admitted while a pass is mid-lap simply join at its current page and
+// wrap, so results can arrive in rotated page order for late arrivals;
+// queries admitted together (before any pulls) start at the same page and
+// produce exactly the rows a private scan produces, in the same order.
+type SharedSession struct {
+	e      *Engine
+	coords map[string]*scanshare.Coordinator
+}
+
+// NewSharedSession returns a shared-scan session over the engine's tables.
+// Coordinators — and their pass positions — persist for the session's
+// lifetime, so successive batches reuse the same elevator pass.
+func (e *Engine) NewSharedSession() *SharedSession {
+	return &SharedSession{e: e, coords: make(map[string]*scanshare.Coordinator)}
+}
+
+// Coordinator returns the session's shared-pass coordinator for a table,
+// creating it on first use.
+func (s *SharedSession) Coordinator(t *catalog.Table) *scanshare.Coordinator {
+	c, ok := s.coords[t.Name]
+	if !ok {
+		c = scanshare.NewCoordinator(t.Heap, t.Name, s.e.pool)
+		s.coords[t.Name] = c
+	}
+	return c
+}
+
+// Query starts a streaming query whose scan leaves are attached to the
+// session's shared passes. Statement overhead, result-path accounting and
+// the Rows contract are identical to Engine.Query; only the leaves differ.
+// The scan attach happens here (at admission), so a batch of Query calls
+// followed by interleaved pulls gives every member the same entry page.
+// Caveat: blocking operators run their blocking phase at admission too —
+// a hash join's Open drains the whole build side, advancing the shared
+// pass before the rest of the batch is admitted (extra laps, see
+// workload.RunShared).
+func (s *SharedSession) Query(p plan.Node) *Rows {
+	return s.e.startQuery(exec.CompileLeaf(p, func(scan *plan.Scan) exec.Operator {
+		return exec.NewSharedScan(s.Coordinator(scan.Table), scan.Table, scan.Filter)
+	}))
+}

@@ -122,6 +122,27 @@ func (c *Ctx) ChargeExpr(m *expr.Cost) {
 	c.acc[cpu.Compute] += m.Drain() * mult * c.amp()
 }
 
+// chargePageStream charges the physical-read side of surfacing one heap
+// page: the background-I/O page hook and the memory stream that moves the
+// page's bytes. Scan paths must route this through exactly one call per
+// physical page read — once per page for private scans, once per PASS for
+// shared scans — so the three scan implementations (scanOp, morselExec,
+// sharedScanOp) stay simulation-identical by construction.
+func (c *Ctx) chargePageStream(bytes int64) {
+	if c.PageHook != nil {
+		c.PageHook()
+	}
+	c.Charge(cpu.Stream, c.Cost.PageStreamCyclesPerKB*float64(bytes)/1024)
+}
+
+// chargePageTuples charges the per-consumer interpretation of one page's
+// rows — work every query pays for every page it processes, shared pass
+// or not.
+func (c *Ctx) chargePageTuples(nRows int) {
+	c.Charge(cpu.Compute, c.Cost.ScanTupleCycles*float64(nRows))
+	c.Charge(cpu.MemStall, c.Cost.ScanTupleStallCycles*float64(nRows))
+}
+
 // Flush runs all accumulated work on the CPU, in kind order.
 func (c *Ctx) Flush() {
 	for kind, cycles := range c.acc {

@@ -57,8 +57,8 @@ func Drain(ctx *Ctx, op Operator, fn func(*expr.Batch) error) error {
 
 // Compile lowers a logical plan to serial physical operators. Unknown
 // node types panic: the operator set is closed. It is the workers=1 case
-// of CompileParallel (see parallel.go), which owns the single lowering
-// switch.
+// of CompileParallel; the single lowering switch lives in compile (see
+// parallel.go).
 func Compile(n plan.Node) Operator { return CompileParallel(n, 1) }
 
 // scanOp reads a heap page by page through the buffer pool (misses become
@@ -109,12 +109,8 @@ func (s *scanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 		if !ok {
 			break
 		}
-		if ctx.PageHook != nil {
-			ctx.PageHook()
-		}
-		ctx.Charge(cpu.Stream, ctx.Cost.PageStreamCyclesPerKB*float64(bytes)/1024)
-		ctx.Charge(cpu.Compute, ctx.Cost.ScanTupleCycles*float64(nRows))
-		ctx.Charge(cpu.MemStall, ctx.Cost.ScanTupleStallCycles*float64(nRows))
+		ctx.chargePageStream(bytes)
+		ctx.chargePageTuples(nRows)
 		if s.filter != nil {
 			expr.FilterBatch(s.filter, s.raw.Rows, s.out, &s.meter)
 			ctx.ChargeExpr(&s.meter)

@@ -6,7 +6,6 @@ import (
 
 	"ecodb/internal/catalog"
 	"ecodb/internal/expr"
-	"ecodb/internal/hw/cpu"
 	"ecodb/internal/plan"
 	"ecodb/internal/storage"
 )
@@ -27,37 +26,48 @@ import (
 // engine's business: it charges work via cpu.SetParallelism exactly as
 // before.
 
-// CompileParallel is the single plan-lowering path: with workers > 1 it
+// CompileParallel is the plan-lowering entry point: with workers > 1 it
 // replaces every maximal scan→filter→project chain with a morsel-driven
 // parallel operator spread across workers goroutines; with workers <= 1
-// (or for plan shapes with no eligible fragment) the same switch lowers
+// (or for plan shapes with no eligible fragment) the shared switch lowers
 // to the serial operator set. Unknown node types panic: the operator set
 // is closed.
 func CompileParallel(n plan.Node, workers int) Operator {
-	if workers > 1 {
+	return compile(n, workers, nil)
+}
+
+// compile owns the single lowering switch, shared by Compile,
+// CompileParallel and CompileLeaf (sharedscan.go). A non-nil leaf produces
+// the scan leaves and disables the morsel fragment fold — externally
+// coordinated leaves (a shared pass) own their page order.
+func compile(n plan.Node, workers int, leaf ScanLeaf) Operator {
+	if leaf == nil && workers > 1 {
 		if f, ok := planFragment(n); ok {
 			return &morselExec{frag: f, workers: workers}
 		}
 	}
 	switch n := n.(type) {
 	case *plan.Scan:
+		if leaf != nil {
+			return leaf(n)
+		}
 		return &scanOp{table: n.Table, filter: n.Filter}
 	case *plan.Filter:
-		return &filterOp{input: CompileParallel(n.Input, workers), pred: n.Pred}
+		return &filterOp{input: compile(n.Input, workers, leaf), pred: n.Pred}
 	case *plan.HashJoin:
 		return &hashJoinOp{
-			build: CompileParallel(n.Build, workers), probe: CompileParallel(n.Probe, workers),
+			build: compile(n.Build, workers, leaf), probe: compile(n.Probe, workers, leaf),
 			buildKey: n.BuildKey, probeKey: n.ProbeKey,
 			residual: n.Residual, schema: n.Schema(),
 		}
 	case *plan.Project:
-		return &projectOp{input: CompileParallel(n.Input, workers), exprs: n.Exprs, schema: n.Schema()}
+		return &projectOp{input: compile(n.Input, workers, leaf), exprs: n.Exprs, schema: n.Schema()}
 	case *plan.Agg:
-		return &aggOp{input: CompileParallel(n.Input, workers), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
+		return &aggOp{input: compile(n.Input, workers, leaf), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
 	case *plan.Sort:
-		return &sortOp{input: CompileParallel(n.Input, workers), keys: n.Keys}
+		return &sortOp{input: compile(n.Input, workers, leaf), keys: n.Keys}
 	case *plan.Limit:
-		return &limitOp{input: CompileParallel(n.Input, workers), n: n.N}
+		return &limitOp{input: compile(n.Input, workers, leaf), n: n.N}
 	default:
 		panic(fmt.Sprintf("exec: cannot compile %T", n))
 	}
@@ -179,7 +189,7 @@ type morselExec struct {
 
 	src     *storage.MorselSource
 	results chan *morselResult
-	tickets chan struct{} // claim window: bounds morsels in flight + reordered
+	tickets chan struct{} // claim window: bounds runs in flight + reordered
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	pending map[int]*morselResult // finished out-of-order morsels by index
@@ -189,13 +199,16 @@ type morselExec struct {
 
 func (m *morselExec) Schema() *catalog.Schema { return m.frag.schema }
 
-// Open starts the worker pool. A worker must hold a ticket to claim a
-// morsel and the coordinator refunds one per morsel it merges, so the
-// morsels that are in flight or waiting to be merged never exceed the
-// window — a straggler on page 0 cannot make the rest of the pool race
-// ahead and buffer the whole table in the reorder map. The results
-// channel's capacity equals the window, so a held ticket guarantees the
-// send never blocks and the pool can always drain on its own.
+// Open starts the worker pool. Handout is run-granular (NUMA-style
+// affinity: a worker keeps claiming adjacent pages, see
+// storage.MorselSource): a worker must hold a ticket to claim a run and
+// the coordinator refunds one when a run's last page merges, so the runs
+// that are in flight or waiting to be merged never exceed the window — a
+// straggler on page 0 cannot make the rest of the pool race ahead and
+// buffer the whole table in the reorder map. The results channel's
+// capacity is window·runLength morsels, so a held ticket guarantees no
+// send of any page in the claimed run ever blocks and the pool can always
+// drain on its own.
 func (m *morselExec) Open(*Ctx) error {
 	heap := m.frag.table.Heap
 	m.src = storage.NewMorselSource(heap)
@@ -213,7 +226,7 @@ func (m *morselExec) Open(*Ctx) error {
 	m.pending = make(map[int]*morselResult, pool)
 	m.stop = make(chan struct{})
 	window := 4 * pool
-	m.results = make(chan *morselResult, window)
+	m.results = make(chan *morselResult, window*m.src.RunLength())
 	m.tickets = make(chan struct{}, window)
 	for i := 0; i < window; i++ {
 		m.tickets <- struct{}{}
@@ -233,11 +246,18 @@ func (m *morselExec) worker() {
 		case <-m.stop:
 			return
 		}
-		idx, page, ok := m.src.Next()
+		run, ok := m.src.NextRun()
 		if !ok {
 			return
 		}
-		m.results <- m.frag.run(idx, page) // never blocks: ticket held
+		for idx := run.Start; idx < run.End; idx++ {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			m.results <- m.frag.run(idx, m.src.Page(idx)) // never blocks: ticket held
+		}
 	}
 }
 
@@ -251,8 +271,7 @@ func (m *morselExec) Next(ctx *Ctx) (*expr.Batch, error) {
 		var res *morselResult
 		if m.results == nil {
 			// Inline path: the heap was too small to fan out.
-			idx, page, _ := m.src.Next()
-			res = m.frag.run(idx, page)
+			res = m.frag.run(m.nextIdx, m.frag.table.Heap.Page(m.nextIdx))
 		} else if r, ok := m.pending[m.nextIdx]; ok {
 			delete(m.pending, m.nextIdx)
 			res = r
@@ -262,15 +281,17 @@ func (m *morselExec) Next(ctx *Ctx) (*expr.Batch, error) {
 			continue
 		}
 		m.nextIdx++
-		if m.tickets != nil {
-			// Refund the claim ticket only now that the morsel is being
-			// merged: results that were merely buffered out of order in
-			// m.pending still count against the window, so a straggler
-			// on the next-to-merge page cannot let the rest of the pool
-			// race ahead and buffer the whole table. The send cannot
-			// block — refunds never exceed claims — and cannot deadlock:
-			// pages are claimed in contiguous order, so the next-to-merge
-			// page is always already claimed whenever tickets are scarce.
+		if m.tickets != nil && (m.nextIdx%m.src.RunLength() == 0 || m.nextIdx == m.total) {
+			// Refund the claim ticket only now that the run's last morsel
+			// is being merged: results that were merely buffered out of
+			// order in m.pending still count against the window, so a
+			// straggler on the next-to-merge page cannot let the rest of
+			// the pool race ahead and buffer the whole table. The send
+			// cannot block — refunds never exceed claims — and cannot
+			// deadlock: runs are claimed in contiguous order and a claimer
+			// needs no further tickets to finish its whole run, so the
+			// next-to-merge page's result always arrives even when
+			// tickets are scarce.
 			m.tickets <- struct{}{}
 		}
 		if b := m.merge(ctx, res); b != nil {
@@ -291,12 +312,8 @@ func (m *morselExec) merge(ctx *Ctx, res *morselResult) *expr.Batch {
 	if ctx.Pool != nil {
 		ctx.Pool.Access(storage.PageID{Table: m.frag.table.Name, Index: res.idx}, res.pageBytes)
 	}
-	if ctx.PageHook != nil {
-		ctx.PageHook()
-	}
-	ctx.Charge(cpu.Stream, ctx.Cost.PageStreamCyclesPerKB*float64(res.pageBytes)/1024)
-	ctx.Charge(cpu.Compute, ctx.Cost.ScanTupleCycles*float64(res.pageRows))
-	ctx.Charge(cpu.MemStall, ctx.Cost.ScanTupleStallCycles*float64(res.pageRows))
+	ctx.chargePageStream(res.pageBytes)
+	ctx.chargePageTuples(res.pageRows)
 	for i := range res.meters {
 		ctx.ChargeExpr(&res.meters[i])
 	}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/plan"
+	"ecodb/internal/scanshare"
+)
+
+// sharedScanOp is the shared-scan leaf: Open attaches the query to the
+// table's shared circular pass, Next pulls pages from the coordinator, and
+// Close detaches. The charging split is the scanshare contract — the
+// surface hook (page-stream cycles, page hook; plus the buffer-pool access
+// inside the coordinator's CircularScan) fires once per page the PASS
+// surfaces, on whichever consumer's pull advanced it, while per-tuple
+// interpretation and predicate work are charged here, per consumer, for
+// every page this query processes. Output batches are page-granular and
+// the per-page cost-window flush mirrors scanOp exactly, so a shared scan
+// driven alone is simulation-identical to a private one.
+type sharedScanOp struct {
+	coord  *scanshare.Coordinator
+	table  *catalog.Table
+	filter expr.Expr
+
+	cons  *scanshare.Consumer
+	out   *expr.Batch
+	meter expr.Cost
+}
+
+// NewSharedScan returns a shared-scan leaf operator over table, attached
+// to coord on Open. filter may be nil for a full scan.
+func NewSharedScan(coord *scanshare.Coordinator, table *catalog.Table, filter expr.Expr) Operator {
+	return &sharedScanOp{coord: coord, table: table, filter: filter}
+}
+
+func (s *sharedScanOp) Schema() *catalog.Schema { return s.table.Schema }
+
+func (s *sharedScanOp) Open(ctx *Ctx) error {
+	s.cons = s.coord.Attach()
+	s.out = expr.NewBatch(ctx.BatchTarget())
+	return nil
+}
+
+func (s *sharedScanOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	s.out.Reset()
+	for s.out.Len() == 0 {
+		ctx.Flush() // close the previous page's pipeline-wide cost window
+		_, page, ok := s.cons.Next(func(_ int, bytes int64) {
+			// Shared charges: fired once per pass, on the advancing pull.
+			ctx.chargePageStream(bytes)
+		})
+		if !ok {
+			break
+		}
+		// Per-consumer charges: every query interprets the tuples itself.
+		ctx.chargePageTuples(len(page.Rows))
+		if s.filter != nil {
+			expr.FilterBatch(s.filter, page.Rows, s.out, &s.meter)
+			ctx.ChargeExpr(&s.meter)
+		} else {
+			s.out.Rows = append(s.out.Rows, page.Rows...)
+		}
+	}
+	if s.out.Len() == 0 {
+		return nil, nil
+	}
+	return s.out, nil
+}
+
+func (s *sharedScanOp) Close(*Ctx) error {
+	if s.cons != nil {
+		s.cons.Close()
+		s.cons = nil
+	}
+	s.out = nil
+	return nil
+}
+
+// ScanLeaf builds the physical leaf for one plan.Scan during lowering —
+// the hook CompileLeaf uses to swap private page scans for shared-scan
+// consumers.
+type ScanLeaf func(*plan.Scan) Operator
+
+// CompileLeaf lowers a plan through the single compile switch (see
+// parallel.go) but produces every scan leaf through leaf instead of the
+// private scanOp. Morsel parallelization is disabled: the leaves
+// coordinate through external machinery (a shared pass) that owns their
+// page order.
+func CompileLeaf(n plan.Node, leaf ScanLeaf) Operator {
+	return compile(n, 1, leaf)
+}

@@ -367,3 +367,53 @@ func TestMechanismDecomposition(t *testing.T) {
 		}
 	}
 }
+
+func TestSharedScanAblation(t *testing.T) {
+	cfg := shorten(lightCommercial(), 0.005)
+	r := SharedScans(cfg, true)
+	if len(r.Points) != len(SharedScanConcurrencies) {
+		t.Fatalf("%d points, want %d", len(r.Points), len(SharedScanConcurrencies))
+	}
+	pages := int64(0)
+	for _, p := range r.Points {
+		if p.N == 1 {
+			// Nothing to share at N=1: both arms are one pass.
+			pages = p.PoolShared
+			continue
+		}
+		// One pass shared vs N passes sequential.
+		if p.PoolShared != pages {
+			t.Errorf("N=%d: shared pool touches %d, want one pass (%d)", p.N, p.PoolShared, pages)
+		}
+		if p.PoolSeq != int64(p.N)*pages {
+			t.Errorf("N=%d: sequential pool touches %d, want %d", p.N, p.PoolSeq, int64(p.N)*pages)
+		}
+		if p.EnergyRatio >= 1 {
+			t.Errorf("N=%d: sharing saves no energy (ratio %.3f)", p.N, p.EnergyRatio)
+		}
+		if p.TimeRatio >= 1 {
+			t.Errorf("N=%d: sharing saves no time (ratio %.3f)", p.N, p.TimeRatio)
+		}
+		// Joules-per-query: the shared batch beats its own sequential arm.
+		// (Strict decrease ACROSS N on identical queries is asserted at the
+		// QED layer; band queries differ slightly in result size per N.)
+		if p.SharedPerQuery >= p.SeqPerQuery {
+			t.Errorf("N=%d: shared J/query %v not below sequential %v", p.N, p.SharedPerQuery, p.SeqPerQuery)
+		}
+	}
+	if !strings.Contains(r.String(), "sharing on") {
+		t.Fatal("report should name the mode")
+	}
+
+	// Control arm: sharing disabled, the "shared" run is sequential too,
+	// so pool traffic matches N passes.
+	off := SharedScans(cfg, false)
+	for _, p := range off.Points {
+		if p.PoolShared != p.PoolSeq {
+			t.Errorf("control N=%d: pool %d vs %d, want equal (sharing off)", p.N, p.PoolShared, p.PoolSeq)
+		}
+	}
+	if !strings.Contains(off.String(), "off (control)") {
+		t.Fatal("control report should name the mode")
+	}
+}

@@ -101,12 +101,51 @@ func TestMergeErrors(t *testing.T) {
 	if _, err := Merge([]plan.Node{selQuery(tb, 1)}, OrChain); err == nil {
 		t.Fatal("single query should not merge")
 	}
+	if _, err := Merge(nil, OrChain); err == nil {
+		t.Fatal("empty batch should not merge")
+	}
 	if _, err := Merge([]plan.Node{selQuery(tb, 1), plan.NewScan(tb, nil)}, OrChain); err == nil {
 		t.Fatal("non-selection should not merge")
+	}
+	// Non-EQ predicate: a range selection defeats the merger even when
+	// table and column match.
+	rangeQ := plan.NewScan(tb, expr.Cmp{Op: expr.LT, L: tb.Schema.Col("qty"), R: expr.Const{V: expr.Int(5)}})
+	if _, err := Merge([]plan.Node{selQuery(tb, 1), rangeQ}, OrChain); err == nil {
+		t.Fatal("non-EQ predicate should not merge")
 	}
 	otherQ := plan.NewScan(other, expr.Cmp{Op: expr.EQ, L: other.Schema.Col("qty"), R: expr.Const{V: expr.Int(1)}})
 	if _, err := Merge([]plan.Node{selQuery(tb, 1), otherQ}, OrChain); err == nil {
 		t.Fatal("cross-table queries should not merge")
+	}
+	// Cross-column: same table, equality shape, different columns.
+	colK := plan.NewScan(tb, expr.Cmp{Op: expr.EQ, L: tb.Schema.Col("k"), R: expr.Const{V: expr.Int(1)}})
+	if _, err := Merge([]plan.Node{selQuery(tb, 1), colK}, OrChain); err == nil {
+		t.Fatal("cross-column queries should not merge")
+	}
+	// Order independence of the cross-column check: the mismatch can sit
+	// in any position, not just adjacent to the first query.
+	if _, err := Merge([]plan.Node{selQuery(tb, 1), selQuery(tb, 2), colK}, OrChain); err == nil {
+		t.Fatal("cross-column mismatch in the tail should not merge")
+	}
+	if _, err := Merge([]plan.Node{selQuery(tb, 1), selQuery(tb, 2)}, MergeStrategy(99)); err == nil {
+		t.Fatal("unknown strategy should not merge")
+	}
+}
+
+func TestExtractSelectionMoreRejects(t *testing.T) {
+	tb := lineitemish()
+	cases := []struct {
+		name string
+		node plan.Node
+	}{
+		{"between", plan.NewScan(tb, expr.Between{E: tb.Schema.Col("qty"), Lo: expr.Int(1), Hi: expr.Int(3)})},
+		{"eq with non-const rhs", plan.NewScan(tb, expr.Cmp{Op: expr.EQ, L: tb.Schema.Col("qty"), R: tb.Schema.Col("k")})},
+		{"filter above scan", plan.NewFilter(plan.NewScan(tb, nil), expr.Cmp{Op: expr.EQ, L: tb.Schema.Col("qty"), R: expr.Const{V: expr.Int(3)}})},
+	}
+	for _, c := range cases {
+		if _, ok := ExtractSelection(c.node); ok {
+			t.Errorf("%s should not be mergeable", c.name)
+		}
 	}
 }
 

@@ -1,0 +1,187 @@
+// Package scanshare implements cooperative shared scans: one circular pass
+// over a heap serves any number of in-flight queries at once. This is the
+// work-sharing lever of the eco-friendly-DBMS literature generalized past
+// QED's predicate merging — where mqo.Merge only folds structurally
+// identical equality selections into one disjunction, a shared scan lets
+// *arbitrary* concurrent scans of a table ride one physical pass, so the
+// pass's I/O and page streaming are paid once no matter how many queries
+// consume it.
+//
+// A per-table Coordinator owns a single storage.CircularScan. Consumers
+// attach at the pass's current position (their entry page), receive every
+// page the pass surfaces from then on, and are done after one full
+// wrap-around lap — every page seen exactly once, in pass order. The pass
+// itself has no start or end: it advances only when some consumer pulls
+// and nothing is buffered for it, and it keeps its position between
+// consumers, so a late arrival simply joins mid-lap (the elevator
+// behaviour of circular-scan designs).
+//
+// Charging rules (the subsystem's energy story):
+//
+//   - Buffer-pool accesses — and therefore simulated disk reads — happen
+//     inside the coordinator's CircularScan, once per page the pass
+//     surfaces, regardless of how many consumers receive the page.
+//   - The Surface callback fires once per surfaced page on the consumer
+//     whose pull advanced the pass; the executor charges the shared
+//     page-stream cycles (one memory stream moves the page) and the page
+//     hook there.
+//   - Everything per-query — tuple interpretation, predicate evaluation,
+//     result materialization — is charged by each consumer on its own
+//     execution context as it processes the shared pages.
+//
+// Like the rest of the simulated machine, a Coordinator is single-threaded:
+// consumers interleave pulls cooperatively on one goroutine, so simulated
+// durations and joules are deterministic for a fixed attach and pull order.
+package scanshare
+
+import (
+	"fmt"
+
+	"ecodb/internal/storage"
+)
+
+// Surface is the shared-side accounting hook: the coordinator invokes it
+// exactly once per page the pass surfaces (not once per consumer), on the
+// pull that advanced the pass. bytes is the page's storage footprint.
+type Surface func(idx int, bytes int64)
+
+// PassStats counts the coordinator's sharing traffic.
+type PassStats struct {
+	// PagesSurfaced is how many pages the pass physically read (buffer
+	// pool touched, shared charges fired) — the "one I/O stream".
+	PagesSurfaced int64
+	// PagesDelivered counts page deliveries across all consumers; the
+	// ratio PagesDelivered/PagesSurfaced is the sharing factor.
+	PagesDelivered int64
+	// Attaches counts consumers admitted over the coordinator's lifetime.
+	Attaches int64
+}
+
+// Coordinator owns one table's shared circular pass. It is not safe for
+// concurrent use — like the simulated CPU it serves, it assumes the
+// cooperative single-threaded execution model.
+type Coordinator struct {
+	heap  *storage.Heap
+	table string
+	scan  *storage.CircularScan
+
+	active []*Consumer
+	stats  PassStats
+}
+
+// NewCoordinator returns a coordinator for heap. table names the heap in
+// buffer-pool page IDs; pool may be nil for an all-in-memory engine.
+func NewCoordinator(heap *storage.Heap, table string, pool *storage.BufferPool) *Coordinator {
+	return &Coordinator{
+		heap:  heap,
+		table: table,
+		scan:  storage.NewCircularScan(heap, table, pool, 0),
+	}
+}
+
+// Table returns the name the coordinator's pages are registered under.
+func (c *Coordinator) Table() string { return c.table }
+
+// Pos returns the pass's current position — the entry page the next
+// attaching consumer will remember.
+func (c *Coordinator) Pos() int { return c.scan.Pos() }
+
+// Attached returns how many consumers are currently attached.
+func (c *Coordinator) Attached() int { return len(c.active) }
+
+// Stats returns the sharing counters accumulated so far.
+func (c *Coordinator) Stats() PassStats { return c.stats }
+
+// Attach admits a consumer into the pass at its current position. The
+// consumer will receive every heap page exactly once, starting at the
+// entry page and wrapping, and must be Closed when its query finishes.
+func (c *Coordinator) Attach() *Consumer {
+	k := &Consumer{
+		coord:     c,
+		entry:     c.scan.Pos(),
+		remaining: c.heap.NumPages(),
+	}
+	c.active = append(c.active, k)
+	c.stats.Attaches++
+	return k
+}
+
+// advance surfaces one page: the circular scan touches the buffer pool,
+// every attached consumer that still needs pages has the page queued, and
+// the shared-side surface hook fires once.
+func (c *Coordinator) advance(surface Surface) {
+	idx, page, ok := c.scan.Next()
+	if !ok {
+		return // empty heap: nothing to surface, consumers are born done
+	}
+	c.stats.PagesSurfaced++
+	for _, k := range c.active {
+		if k.remaining > 0 {
+			k.queue = append(k.queue, idx)
+			k.remaining--
+			c.stats.PagesDelivered++
+		}
+	}
+	if surface != nil {
+		surface(idx, page.Bytes)
+	}
+}
+
+// detach removes k from the active set.
+func (c *Coordinator) detach(k *Consumer) {
+	for i, a := range c.active {
+		if a == k {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// Consumer is one query's membership in a shared pass.
+type Consumer struct {
+	coord     *Coordinator
+	entry     int
+	queue     []int // delivered, unconsumed page indexes, in pass order
+	remaining int   // pages the pass has yet to deliver to this consumer
+	seen      int64
+	closed    bool
+}
+
+// Entry returns the page index at which the consumer joined the pass —
+// the first page it receives.
+func (k *Consumer) Entry() int { return k.entry }
+
+// PagesSeen returns how many pages the consumer has consumed so far.
+func (k *Consumer) PagesSeen() int64 { return k.seen }
+
+// Next returns the consumer's next page in pass order. When nothing is
+// buffered it advances the shared pass, firing surface once for the newly
+// surfaced page (see Surface); pages another consumer's pulls already
+// surfaced are served from the buffer with no shared charge. ok is false
+// once the consumer has seen every heap page exactly once — immediately,
+// for an empty heap.
+func (k *Consumer) Next(surface Surface) (idx int, page *storage.Page, ok bool) {
+	if k.closed {
+		panic(fmt.Sprintf("scanshare: Next on closed consumer of %q", k.coord.table))
+	}
+	if len(k.queue) == 0 {
+		if k.remaining == 0 {
+			return 0, nil, false
+		}
+		k.coord.advance(surface)
+	}
+	idx = k.queue[0]
+	k.queue = k.queue[1:]
+	k.seen++
+	return idx, k.coord.heap.Page(idx), true
+}
+
+// Close detaches the consumer from the pass. It is idempotent; a closed
+// consumer must not be used again.
+func (k *Consumer) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.coord.detach(k)
+}

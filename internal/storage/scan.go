@@ -44,33 +44,122 @@ func (s *PageScan) ReadInto(dst *expr.Batch) (bytes int64, rows int, ok bool) {
 // Reset rewinds the cursor to the first page.
 func (s *PageScan) Reset() { s.next = 0 }
 
-// MorselSource hands out a heap's pages to concurrent workers, one page —
-// one morsel — at a time. It is the storage half of the morsel-driven
-// parallel executor: a handout is a single atomic increment, so any number
-// of worker goroutines can claim morsels without locking. Buffer-pool
-// accounting is deliberately absent here — the pool and the rest of the
-// simulated machine are single-threaded, so the executor's coordinator
-// replays pool accesses in page order while merging worker results, which
-// keeps simulated time and energy deterministic.
-type MorselSource struct {
-	heap *Heap
-	next atomic.Int64
+// CircularScan is a wrap-aware cursor over a heap's pages — the storage
+// half of the shared-scan subsystem and the circular cousin of
+// MorselSource. The cursor can start at any page and wraps past the last
+// page back to the first, so a pass has no intrinsic end: consumers that
+// join mid-pass (remembering their entry page) bound their own reading at
+// one full lap. Like PageScan, each surfaced page touches the buffer pool
+// when one is attached, so misses become simulated disk reads exactly
+// where the pass physically reads.
+type CircularScan struct {
+	heap  *Heap
+	table string
+	pool  *BufferPool // nil for an all-in-memory engine
+	cur   int
 }
 
-// NewMorselSource returns a concurrent cursor over heap's pages.
+// NewCircularScan returns a circular cursor over heap's pages starting at
+// page start (normalized into range; empty heaps pin the cursor at 0).
+func NewCircularScan(heap *Heap, table string, pool *BufferPool, start int) *CircularScan {
+	s := &CircularScan{heap: heap, table: table, pool: pool}
+	if n := heap.NumPages(); n > 0 {
+		s.cur = ((start % n) + n) % n
+	}
+	return s
+}
+
+// Pos returns the page index the next call to Next will surface — the
+// entry page a consumer attaching now should remember.
+func (s *CircularScan) Pos() int { return s.cur }
+
+// Next surfaces the page under the cursor, touching the buffer pool when
+// one is attached, and advances with wrap-around. ok is false only when
+// the heap has no pages; otherwise the cursor circles forever and the
+// caller decides when its lap is complete.
+func (s *CircularScan) Next() (idx int, page *Page, ok bool) {
+	n := s.heap.NumPages()
+	if n == 0 {
+		return 0, nil, false
+	}
+	idx = s.cur
+	page = s.heap.Page(idx)
+	if s.pool != nil {
+		s.pool.Access(PageID{Table: s.table, Index: idx}, page.Bytes)
+	}
+	s.cur = (idx + 1) % n
+	return idx, page, true
+}
+
+// DefaultMorselRunLength is how many adjacent pages one morsel-run handout
+// covers. Run-length handout gives a worker NUMA-style affinity: it keeps
+// claiming neighbouring pages (socket-local in a real machine) instead of
+// interleaving with every other worker page by page.
+const DefaultMorselRunLength = 8
+
+// MorselSource hands out a heap's pages to concurrent workers in runs of
+// adjacent pages. It is the storage half of the morsel-driven parallel
+// executor: a handout is a single atomic increment on the run counter, so
+// any number of worker goroutines can claim runs without locking, and each
+// worker then walks its run's pages in order. Buffer-pool accounting is
+// deliberately absent here — the pool and the rest of the simulated
+// machine are single-threaded, so the executor's coordinator replays pool
+// accesses in page order while merging worker results, which keeps
+// simulated time and energy deterministic regardless of run length or
+// worker count.
+type MorselSource struct {
+	heap    *Heap
+	runLen  int
+	nextRun atomic.Int64
+}
+
+// MorselRun is one handout: the adjacent pages [Start, End).
+type MorselRun struct {
+	Start, End int
+}
+
+// Len returns how many pages the run covers.
+func (r MorselRun) Len() int { return r.End - r.Start }
+
+// NewMorselSource returns a concurrent run-granular cursor over heap's
+// pages with the default run length.
 func NewMorselSource(heap *Heap) *MorselSource {
-	return &MorselSource{heap: heap}
+	return NewMorselSourceRunLength(heap, DefaultMorselRunLength)
+}
+
+// NewMorselSourceRunLength returns a concurrent cursor handing out runs of
+// runLen adjacent pages; non-positive lengths select the default.
+func NewMorselSourceRunLength(heap *Heap, runLen int) *MorselSource {
+	if runLen <= 0 {
+		runLen = DefaultMorselRunLength
+	}
+	return &MorselSource{heap: heap, runLen: runLen}
 }
 
 // NumMorsels returns how many morsels (pages) the source serves in total.
 func (s *MorselSource) NumMorsels() int { return s.heap.NumPages() }
 
-// Next claims the next unclaimed page, returning its index and contents;
-// ok is false once the heap is exhausted. Safe for concurrent use.
-func (s *MorselSource) Next() (idx int, page *Page, ok bool) {
-	i := int(s.next.Add(1)) - 1
-	if i >= s.heap.NumPages() {
-		return 0, nil, false
+// RunLength returns the configured pages-per-handout run length.
+func (s *MorselSource) RunLength() int { return s.runLen }
+
+// NextRun claims the next unclaimed run of adjacent pages; ok is false
+// once the heap is exhausted. Runs are claimed in ascending page order
+// (run k covers pages [k·runLen, (k+1)·runLen) clipped to the heap).
+// Safe for concurrent use.
+func (s *MorselSource) NextRun() (run MorselRun, ok bool) {
+	r := int(s.nextRun.Add(1)) - 1
+	start := r * s.runLen
+	n := s.heap.NumPages()
+	if start >= n {
+		return MorselRun{}, false
 	}
-	return i, s.heap.Page(i), true
+	end := start + s.runLen
+	if end > n {
+		end = n
+	}
+	return MorselRun{Start: start, End: end}, true
 }
+
+// Page returns page i of the underlying heap, for workers walking a
+// claimed run.
+func (s *MorselSource) Page(i int) *Page { return s.heap.Page(i) }

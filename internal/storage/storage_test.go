@@ -254,17 +254,19 @@ func TestMorselSourceHandsOutEveryPageOnce(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				idx, page, ok := src.Next()
+				run, ok := src.NextRun()
 				if !ok {
 					return
 				}
-				if page != h.Page(idx) {
-					t.Errorf("morsel %d handed the wrong page", idx)
-					return
+				for idx := run.Start; idx < run.End; idx++ {
+					if src.Page(idx) != h.Page(idx) {
+						t.Errorf("morsel %d handed the wrong page", idx)
+						return
+					}
+					mu.Lock()
+					claimed[idx]++
+					mu.Unlock()
 				}
-				mu.Lock()
-				claimed[idx]++
-				mu.Unlock()
 			}
 		}()
 	}
@@ -279,9 +281,151 @@ func TestMorselSourceHandsOutEveryPageOnce(t *testing.T) {
 	}
 }
 
+// The NUMA-affinity contract: every handout is a run of adjacent pages of
+// exactly the configured length (the tail run may be shorter), runs are
+// claimed in ascending order, and together they tile the heap.
+func TestMorselSourceRunLengthContiguous(t *testing.T) {
+	h := NewHeap(256)
+	for i := 0; i < 1000; i++ {
+		h.Append(expr.Row{expr.Int(int64(i))})
+	}
+	n := h.NumPages()
+	if n < 10 {
+		t.Fatalf("need a multi-page heap, got %d pages", n)
+	}
+	const runLen = 3
+	src := NewMorselSourceRunLength(h, runLen)
+	if src.RunLength() != runLen {
+		t.Fatalf("RunLength = %d, want %d", src.RunLength(), runLen)
+	}
+	var runs []MorselRun
+	for {
+		run, ok := src.NextRun()
+		if !ok {
+			break
+		}
+		runs = append(runs, run)
+	}
+	next := 0
+	for i, run := range runs {
+		if run.Start != next {
+			t.Fatalf("run %d starts at %d, want %d (runs must tile the heap in order)", i, run.Start, next)
+		}
+		want := runLen
+		if run.Start+want > n {
+			want = n - run.Start
+		}
+		if run.Len() != want {
+			t.Fatalf("run %d covers %d pages, want %d", i, run.Len(), want)
+		}
+		next = run.End
+	}
+	if next != n {
+		t.Fatalf("runs end at page %d, want %d", next, n)
+	}
+}
+
+func TestMorselSourceDefaultRunLength(t *testing.T) {
+	src := NewMorselSource(NewHeap(0))
+	if src.RunLength() != DefaultMorselRunLength {
+		t.Fatalf("default run length = %d, want %d", src.RunLength(), DefaultMorselRunLength)
+	}
+	if s2 := NewMorselSourceRunLength(NewHeap(0), -3); s2.RunLength() != DefaultMorselRunLength {
+		t.Fatal("non-positive run length should select the default")
+	}
+}
+
 func TestMorselSourceEmptyHeap(t *testing.T) {
 	src := NewMorselSource(NewHeap(0))
-	if _, _, ok := src.Next(); ok {
-		t.Fatal("empty heap handed out a morsel")
+	if _, ok := src.NextRun(); ok {
+		t.Fatal("empty heap handed out a run")
+	}
+}
+
+// --- CircularScan ---
+
+func circHeap(t *testing.T, rows int) *Heap {
+	t.Helper()
+	h := NewHeap(256)
+	for i := 0; i < rows; i++ {
+		h.Append(expr.Row{expr.Int(int64(i))})
+	}
+	return h
+}
+
+func TestCircularScanWrapsFromAnyStart(t *testing.T) {
+	h := circHeap(t, 500)
+	n := h.NumPages()
+	if n < 3 {
+		t.Fatalf("need ≥3 pages, got %d", n)
+	}
+	for _, start := range []int{0, 1, n - 1, n, n + 2, -1} {
+		s := NewCircularScan(h, "t", nil, start)
+		wantFirst := ((start % n) + n) % n
+		if s.Pos() != wantFirst {
+			t.Fatalf("start %d: Pos = %d, want %d", start, s.Pos(), wantFirst)
+		}
+		seen := make(map[int]int)
+		for i := 0; i < n; i++ {
+			idx, page, ok := s.Next()
+			if !ok {
+				t.Fatalf("start %d: pass ended after %d pages", start, i)
+			}
+			if want := (wantFirst + i) % n; idx != want {
+				t.Fatalf("start %d: page %d surfaced index %d, want %d", start, i, idx, want)
+			}
+			if page != h.Page(idx) {
+				t.Fatalf("start %d: wrong page for index %d", start, idx)
+			}
+			seen[idx]++
+		}
+		if len(seen) != n {
+			t.Fatalf("start %d: one lap surfaced %d distinct pages, want %d", start, len(seen), n)
+		}
+		// The lap closes: the cursor is back at the entry page.
+		if s.Pos() != wantFirst {
+			t.Fatalf("start %d: after a full lap Pos = %d, want %d", start, s.Pos(), wantFirst)
+		}
+	}
+}
+
+func TestCircularScanEmptyHeap(t *testing.T) {
+	s := NewCircularScan(NewHeap(0), "t", nil, 3)
+	if s.Pos() != 0 {
+		t.Fatalf("empty heap Pos = %d, want 0", s.Pos())
+	}
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("empty heap surfaced a page")
+	}
+}
+
+func TestCircularScanSinglePageRepeats(t *testing.T) {
+	h := circHeap(t, 3) // all rows fit one page
+	if h.NumPages() != 1 {
+		t.Fatalf("want a single-page heap, got %d pages", h.NumPages())
+	}
+	s := NewCircularScan(h, "t", nil, 5)
+	for i := 0; i < 4; i++ {
+		idx, _, ok := s.Next()
+		if !ok || idx != 0 {
+			t.Fatalf("lap %d: idx=%d ok=%v, want 0 true", i, idx, ok)
+		}
+	}
+}
+
+func TestCircularScanTouchesPool(t *testing.T) {
+	h := circHeap(t, 500)
+	n := h.NumPages()
+	bp := NewBufferPool(1<<20, &fakeReader{})
+	s := NewCircularScan(h, "li", bp, 0)
+	for i := 0; i < 2*n; i++ {
+		s.Next()
+	}
+	st := bp.Stats()
+	if st.Misses != int64(n) {
+		t.Fatalf("first lap should miss every page once: misses = %d, want %d", st.Misses, n)
+	}
+	if st.Hits != int64(n) {
+		t.Fatalf("second lap should hit every page: hits = %d, want %d", st.Hits, n)
 	}
 }

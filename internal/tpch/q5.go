@@ -174,3 +174,32 @@ func QuantityWorkload(cat *catalog.Catalog, n int) []plan.Node {
 	}
 	return out
 }
+
+// QuantityBandQuery builds a range selection over lineitem:
+// lo <= l_quantity < lo+width. The range shape is deliberately outside
+// mqo's mergeable fragment (equality selections only), making it the
+// target workload of the shared-scan subsystem: QED cannot fold these into
+// one disjunction, but scanshare can still serve a whole batch of them
+// from one heap pass.
+func QuantityBandQuery(cat *catalog.Catalog, lo, width int64) plan.Node {
+	t := cat.MustTable(Lineitem)
+	return plan.NewScan(t, expr.Between{
+		E:  t.Schema.Col("l_quantity"),
+		Lo: expr.Int(lo),
+		Hi: expr.Int(lo + width),
+	})
+}
+
+// QuantityBandWorkload builds n non-mergeable band selections with
+// distinct, non-overlapping 2-quantity bands (n ≤ 25 keeps the bands
+// within l_quantity's 1..50 domain).
+func QuantityBandWorkload(cat *catalog.Catalog, n int) []plan.Node {
+	if n < 1 || n > 25 {
+		panic(fmt.Sprintf("tpch: band workload size %d outside [1,25]", n))
+	}
+	out := make([]plan.Node, n)
+	for i := range out {
+		out[i] = QuantityBandQuery(cat, int64(2*i+1), 2)
+	}
+	return out
+}

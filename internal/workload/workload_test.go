@@ -54,6 +54,36 @@ func TestRunSequentialAccounting(t *testing.T) {
 	}
 }
 
+func TestRunSharedMatchesSequentialRowsAndFinishesFaster(t *testing.T) {
+	// Same band workload on two identical engines: the shared run must
+	// return the same per-query cardinalities as the sequential run and —
+	// reading the heap once instead of N times — finish in strictly less
+	// simulated time.
+	eSeq, mSeq := testEngine(t)
+	seq := RunSequential(eSeq, mSeq.Clock, NewQueries("band", tpch.QuantityBandWorkload(eSeq.Catalog(), 6)))
+
+	eSh, mSh := testEngine(t)
+	sh := RunShared(eSh, mSh.Clock, NewQueries("band", tpch.QuantityBandWorkload(eSh.Catalog(), 6)))
+
+	if len(sh.Queries) != len(seq.Queries) {
+		t.Fatalf("%d shared results vs %d sequential", len(sh.Queries), len(seq.Queries))
+	}
+	for i := range sh.Queries {
+		if sh.Queries[i].Rows != seq.Queries[i].Rows {
+			t.Fatalf("query %d: %d rows shared vs %d sequential", i, sh.Queries[i].Rows, seq.Queries[i].Rows)
+		}
+		if sh.Queries[i].Start != 0 {
+			t.Fatalf("query %d: shared start %v, want 0 (batch issue)", i, sh.Queries[i].Start)
+		}
+		if sh.Queries[i].End <= 0 || sh.Queries[i].End > sh.Total {
+			t.Fatalf("query %d: end %v outside (0, %v]", i, sh.Queries[i].End, sh.Total)
+		}
+	}
+	if sh.Total >= seq.Total {
+		t.Fatalf("shared total %v not faster than sequential %v", sh.Total, seq.Total)
+	}
+}
+
 func TestMeanAndMaxResponse(t *testing.T) {
 	r := RunResult{Queries: []QueryResult{
 		{End: 1 * sim.Second},
