@@ -54,7 +54,7 @@ func writeTable(t *catalog.Table) error {
 	w := bufio.NewWriterSize(f, 1<<20)
 	var sb strings.Builder
 	for p := 0; p < t.Heap.NumPages(); p++ {
-		for _, row := range t.Heap.Page(p).Rows {
+		for _, row := range t.Heap.Page(p).Rows() {
 			sb.Reset()
 			for i, v := range row {
 				if i > 0 {

@@ -26,11 +26,12 @@ import (
 )
 
 var (
-	flagSF     = flag.Float64("sf", 0, "generated TPC-H scale factor override (0 = experiment default)")
-	flagAmp    = flag.Float64("amp", 0, "work amplification override (0 = experiment default)")
-	flagRuns   = flag.Int("runs", 0, "measurement repetitions per point (0 = experiment default)")
-	flagSeed   = flag.Uint64("seed", 0, "data-generation seed (0 = experiment default)")
-	flagShared = flag.Bool("shared-scan", true, "serve non-mergeable QED batches from one shared heap pass (sharedscan experiment; false = control arm)")
+	flagSF       = flag.Float64("sf", 0, "generated TPC-H scale factor override (0 = experiment default)")
+	flagAmp      = flag.Float64("amp", 0, "work amplification override (0 = experiment default)")
+	flagRuns     = flag.Int("runs", 0, "measurement repetitions per point (0 = experiment default)")
+	flagSeed     = flag.Uint64("seed", 0, "data-generation seed (0 = experiment default)")
+	flagShared   = flag.Bool("shared-scan", true, "serve non-mergeable QED batches from one shared heap pass (sharedscan experiment; false = control arm)")
+	flagColumnar = flag.Bool("columnar", true, "run the treated arm of the columnar experiment through the columnar fast paths (false = control arm: both arms row-at-a-time)")
 )
 
 func main() {
@@ -69,6 +70,7 @@ experiments:
   capvsuc   ablation: FSB underclocking vs multiplier capping
   mechanisms ablation: decompose setting A's savings by mechanism
   sharedscan ablation: QED shared-scan flush vs sequential (see -shared-scan)
+  columnar  ablation: row-at-a-time vs columnar execution wall-clock (see -columnar)
   all       every paper experiment (table1..fig6, warmcold)
 
 flags:
@@ -120,8 +122,10 @@ func runOne(name string) error {
 		out = experiments.Mechanisms(override(experiments.DefaultCommercialConfig()))
 	case "sharedscan":
 		out = experiments.SharedScans(override(experiments.DefaultCommercialConfig()), *flagShared)
+	case "columnar":
+		out = experiments.ColumnarScan(override(experiments.DefaultCommercialConfig()), *flagColumnar)
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan all; flags go before the experiment name)", name)
+		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar all; flags go before the experiment name)", name)
 	}
 	fmt.Println(out)
 	fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

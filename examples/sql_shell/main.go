@@ -60,7 +60,7 @@ func main() {
 			if b == nil {
 				break
 			}
-			for _, row := range b.Rows {
+			for _, row := range b.Rows() {
 				for _, v := range row {
 					fmt.Printf("%-14v", v)
 				}

@@ -1,0 +1,186 @@
+// Golden tests pinning the simulated outputs — result rows, durations, and
+// joules — of four end-to-end scenarios (the quickstart example, QED
+// batching, the Figure 1 PVC sweep, and the shared-scan ablation) byte for
+// byte. The files under testdata/golden were generated on the row-major
+// []Row executor; the columnar refactor must reproduce them exactly,
+// because floats are rendered in shortest-round-trip form (byte equality ⟺
+// bit equality). Regenerate deliberately with:
+//
+//	go test -run TestGolden -update-golden
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ecodb/internal/core"
+	"ecodb/internal/engine"
+	"ecodb/internal/experiments"
+	"ecodb/internal/expr"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/mqo"
+	"ecodb/internal/tpch"
+	"ecodb/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden files from this revision's outputs")
+
+// fexact renders a float in shortest form that round-trips, so golden
+// comparison is exact bit comparison.
+func fexact(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func fmtValue(v expr.Value) string {
+	switch v.Kind {
+	case expr.KindNull:
+		return "null"
+	case expr.KindFloat:
+		return "float:" + fexact(v.F)
+	case expr.KindString:
+		return "string:" + strconv.Quote(v.S)
+	default:
+		return fmt.Sprintf("%v:%d", v.Kind, v.I)
+	}
+}
+
+func fmtRows(b *strings.Builder, rows []expr.Row) {
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = fmtValue(v)
+		}
+		fmt.Fprintf(b, "  %s\n", strings.Join(parts, " | "))
+	}
+}
+
+func fmtMeasurement(b *strings.Builder, label string, m core.Measurement) {
+	fmt.Fprintf(b, "%s: time=%s cpu=%s cpuExact=%s disk=%s wall=%s vmean=%s fmean=%s\n",
+		label, fexact(float64(m.Time)), fexact(float64(m.CPUEnergy)),
+		fexact(float64(m.CPUEnergyExact)), fexact(float64(m.DiskEnergy)),
+		fexact(float64(m.WallEnergy)), fexact(float64(m.MeanVoltage)), fexact(m.MeanFreqGHz))
+}
+
+func fmtRunResult(b *strings.Builder, label string, r workload.RunResult) {
+	fmt.Fprintf(b, "%s: total=%s\n", label, fexact(float64(r.Total)))
+	for _, q := range r.Queries {
+		fmt.Fprintf(b, "  %s start=%s end=%s rows=%d\n",
+			q.ID, fexact(float64(q.Start)), fexact(float64(q.End)), q.Rows)
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden on a known-good revision): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output diverged from golden — simulated results/durations/joules are no longer bit-identical.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenQuickstart pins the quickstart example's numbers: one Q5
+// execution plus a stock-vs-PVC measurement of the ten-query workload on
+// the commercial profile.
+func TestGoldenQuickstart(t *testing.T) {
+	prof := engine.ProfileCommercial()
+	prof.WorkAmplification = 50
+	sys := core.NewSystem(prof)
+	tpch.NewGenerator(0.01, 1).Load(sys.Engine.Catalog(),
+		tpch.Region, tpch.Nation, tpch.Supplier, tpch.Customer, tpch.Orders, tpch.Lineitem)
+	sys.Engine.WarmAll()
+
+	var b strings.Builder
+	res, stats := sys.Engine.Exec(tpch.Q5(sys.Engine.Catalog(), "ASIA", 1994))
+	fmt.Fprintf(&b, "q5 rows (%d, %d bytes, duration=%s):\n",
+		stats.RowsOut, stats.BytesOut, fexact(float64(stats.Duration)))
+	fmtRows(&b, res.Rows)
+
+	queries := workload.NewQueries("q5", tpch.Q5Workload(sys.Engine.Catalog()))
+	stock := sys.MeasureOnce(core.Stock(), func() {
+		workload.RunSequential(sys.Engine, sys.Machine.Clock, queries)
+	})
+	saving := sys.MeasureOnce(core.PVCSetting(0.05, cpu.DowngradeMedium), func() {
+		workload.RunSequential(sys.Engine, sys.Machine.Clock, queries)
+	})
+	fmtMeasurement(&b, "stock", stock)
+	fmtMeasurement(&b, "pvcA", saving)
+
+	checkGolden(t, "quickstart", b.String())
+}
+
+// TestGoldenQEDBatching pins the QED merged-batch path: sequential baseline
+// versus a merged disjunctive flush on the MySQL MEMORY profile, including
+// the application-side split's per-query cardinalities.
+func TestGoldenQEDBatching(t *testing.T) {
+	prof := engine.ProfileMySQLMemory()
+	prof.WorkAmplification = 8
+	sys := core.NewSystem(prof)
+	tpch.NewGenerator(0.02, 3).Load(sys.Engine.Catalog(), tpch.Lineitem)
+
+	const batchSize = 8
+	queries := workload.NewQueries("sel", tpch.QuantityWorkload(sys.Engine.Catalog(), batchSize))
+	clock := sys.Machine.Clock
+	trace := sys.Machine.CPU.Trace()
+
+	var b strings.Builder
+	t0 := clock.Now()
+	seq := workload.RunSequential(sys.Engine, clock, queries)
+	fmt.Fprintf(&b, "seqEnergy=%s\n", fexact(float64(trace.Energy(t0, clock.Now()))))
+	fmtRunResult(&b, "sequential", seq)
+
+	qed := core.NewQED(sys, batchSize, mqo.OrChain)
+	t1 := clock.Now()
+	var batch *workload.RunResult
+	for _, q := range queries {
+		if done := qed.Submit(q); done != nil {
+			batch = done
+		}
+	}
+	fmt.Fprintf(&b, "qedEnergy=%s\n", fexact(float64(trace.Energy(t1, clock.Now()))))
+	fmtRunResult(&b, "qed", *batch)
+
+	checkGolden(t, "qed_batching", b.String())
+}
+
+// TestGoldenFig1 pins the Figure 1 PVC sweep (stock + settings A/B/C) on
+// the commercial profile at reduced generated scale.
+func TestGoldenFig1(t *testing.T) {
+	cfg := experiments.Config{SF: 0.02, Amplification: 50, Seed: 42, ProtocolRuns: 1}
+	r := experiments.Figure1(cfg)
+	var b strings.Builder
+	for _, m := range r.Measurements {
+		fmtMeasurement(&b, m.Setting.String(), m)
+	}
+	checkGolden(t, "fig1", b.String())
+}
+
+// TestGoldenSharedScan pins the shared-scan ablation: sequential versus
+// shared-pass energies, times, and pool touches at N=1/4/16.
+func TestGoldenSharedScan(t *testing.T) {
+	cfg := experiments.Config{SF: 0.02, Amplification: 50, Seed: 42, ProtocolRuns: 1}
+	r := experiments.SharedScans(cfg, true)
+	var b strings.Builder
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "N=%d seqTime=%s sharedTime=%s seqEnergy=%s sharedEnergy=%s seqPerQuery=%s sharedPerQuery=%s poolSeq=%d poolShared=%d\n",
+			p.N, fexact(float64(p.SeqTime)), fexact(float64(p.SharedTime)),
+			fexact(float64(p.SeqEnergy)), fexact(float64(p.SharedEnergy)),
+			fexact(float64(p.SeqPerQuery)), fexact(float64(p.SharedPerQuery)),
+			p.PoolSeq, p.PoolShared)
+	}
+	checkGolden(t, "sharedscan", b.String())
+}

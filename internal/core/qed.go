@@ -107,7 +107,7 @@ func (q *QED) RunBatch(queries []workload.Query) workload.RunResult {
 		if b == nil {
 			break
 		}
-		split.Add(b.Rows)
+		split.Add(b.Rows())
 	}
 
 	// Application-side split cost, charged to the same machine's CPU (the

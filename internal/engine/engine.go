@@ -196,9 +196,10 @@ func (e *Engine) startQuery(op exec.Operator) *Rows {
 // Schema describes the result rows.
 func (r *Rows) Schema() *catalog.Schema { return r.op.Schema() }
 
-// Next returns the next result batch, or nil when the stream is exhausted.
-// The batch is owned by the executor and valid until the following call;
-// its Row values may be retained.
+// Next returns the next result batch — columnar, read-only — or nil when
+// the stream is exhausted. The batch is owned by the executor and valid
+// until the following call; materialize rows that must outlive it with
+// Batch.Rows or Batch.AppendRowsTo.
 func (r *Rows) Next() (*expr.Batch, error) {
 	if r.finished {
 		return nil, nil
@@ -215,9 +216,10 @@ func (r *Rows) Next() (*expr.Batch, error) {
 		r.finish()
 		return nil, nil
 	}
-	r.rowsOut += int64(b.Len())
-	for _, row := range b.Rows {
-		r.bytesOut += row.Bytes()
+	n := b.Len()
+	r.rowsOut += int64(n)
+	for li := 0; li < n; li++ {
+		r.bytesOut += b.RowBytes(li)
 	}
 	return b, nil
 }
@@ -275,7 +277,8 @@ func (r *Rows) finish() {
 
 // Exec runs a plan to completion, charging all work and I/O to the
 // machine, and returns the materialized result with execution statistics.
-// It is a thin wrapper over the streaming Query iterator.
+// It is a thin wrapper over the streaming Query iterator; this is the
+// client edge where the executor's columnar batches are re-rowified.
 func (e *Engine) Exec(p plan.Node) (*Result, ExecStats) {
 	rows := e.Query(p)
 	res := &Result{Schema: rows.Schema()}
@@ -287,7 +290,7 @@ func (e *Engine) Exec(p plan.Node) (*Result, ExecStats) {
 		if b == nil {
 			break
 		}
-		res.Rows = append(res.Rows, b.Rows...)
+		res.Rows = b.AppendRowsTo(res.Rows)
 	}
 	return res, rows.Stats()
 }

@@ -235,7 +235,7 @@ func TestQueryStreamMatchesExec(t *testing.T) {
 		if b == nil {
 			break
 		}
-		streamed = append(streamed, b.Rows...)
+		streamed = b.AppendRowsTo(streamed)
 	}
 	stStream := rows.Stats()
 

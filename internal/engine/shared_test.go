@@ -40,7 +40,7 @@ func driveShared(t *testing.T, e *Engine, plans []plan.Node) [][]expr.Row {
 				remaining--
 				continue
 			}
-			out[i] = append(out[i], b.Rows...)
+			out[i] = b.AppendRowsTo(out[i])
 		}
 	}
 	return out

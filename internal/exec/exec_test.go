@@ -51,7 +51,7 @@ func collect(t *testing.T, op Operator, ctx *Ctx) []expr.Row {
 	t.Helper()
 	var rows []expr.Row
 	if err := Drain(ctx, op, func(b *expr.Batch) error {
-		rows = append(rows, b.Rows...)
+		rows = b.AppendRowsTo(rows)
 		return nil
 	}); err != nil {
 		t.Fatalf("drain: %v", err)
@@ -403,7 +403,7 @@ func TestLimitTruncatesMidBatch(t *testing.T) {
 		t.Fatalf("mid-batch truncation returned %d rows, want 7", b.Len())
 	}
 	if next, _ := op.Next(ctx2); next != nil {
-		t.Fatalf("limit served rows past the boundary: %v", next.Rows)
+		t.Fatalf("limit served rows past the boundary: %v", next.Rows())
 	}
 }
 
@@ -525,13 +525,12 @@ func TestBatchAndRowExecutionAgree(t *testing.T) {
 	var rowMeter, batchMeter expr.Cost
 	heap := tb.Heap
 	for i := 0; i < heap.NumPages(); i++ {
-		for _, r := range heap.Page(i).Rows {
+		for _, r := range heap.Page(i).Rows() {
 			if pred.Eval(r, &rowMeter).Truthy() {
 				want = append(want, r)
 			}
 		}
-		out := expr.NewBatch(0)
-		expr.FilterBatch(pred, heap.Page(i).Rows, out, &batchMeter)
+		expr.FilterBatch(pred, &heap.Page(i).Data, nil, &batchMeter)
 	}
 	if len(rows) != len(want) {
 		t.Fatalf("batch path %d rows, row path %d", len(rows), len(want))

@@ -21,9 +21,9 @@ type Operator interface {
 	// build) run here.
 	Open(ctx *Ctx) error
 	// Next returns the next batch of output rows, or nil at end of
-	// stream. The returned batch is owned by the operator and valid only
-	// until the following Next call; the Row values inside it are
-	// immutable and may be retained.
+	// stream. The returned batch is owned by the operator, read-only to
+	// the caller, and valid only until the following Next call; values
+	// gathered out of it are immutable and may be retained.
 	Next(ctx *Ctx) (*expr.Batch, error)
 	// Close releases operator state. It is idempotent.
 	Close(ctx *Ctx) error
@@ -63,15 +63,17 @@ func Compile(n plan.Node) Operator { return CompileParallel(n, 1) }
 
 // scanOp reads a heap page by page through the buffer pool (misses become
 // simulated disk reads), charging stream work for page bytes and per-tuple
-// interpretation costs once per page, and filtering each page's rows with
-// the batch-wise evaluator. Output batches are page-granular (see Next).
+// interpretation costs once per page, and filtering each page's column
+// vectors with the batch-wise evaluator. Output batches are zero-copy
+// views of the page's vectors, narrowed by a selection vector when a
+// filter is present; they are page-granular (see Next).
 type scanOp struct {
 	table  *catalog.Table
 	filter expr.Expr
 
 	scan  *storage.PageScan
-	raw   *expr.Batch // one page's unfiltered rows (filtered scans only)
-	out   *expr.Batch
+	view  expr.Batch // current page view; Sel points into sel
+	sel   []int32
 	meter expr.Cost
 }
 
@@ -79,15 +81,11 @@ func (s *scanOp) Schema() *catalog.Schema { return s.table.Schema }
 
 func (s *scanOp) Open(ctx *Ctx) error {
 	s.scan = storage.NewPageScan(s.table.Heap, s.table.Name, ctx.Pool)
-	if s.filter != nil {
-		s.raw = expr.NewBatch(ctx.BatchTarget())
-	}
-	s.out = expr.NewBatch(ctx.BatchTarget())
 	return nil
 }
 
-// Next surfaces pages until the output batch is non-empty, charging page
-// costs as it goes. Batches are page-granular (a batch never spans a page
+// Next surfaces pages until one survives the filter, charging page costs
+// as it goes. Batches are page-granular (a batch never spans a page
 // boundary) and the accumulated work is flushed to the CPU at the top of
 // each page step — by which point downstream operators have charged their
 // work for the previous batch — so every flushed power-trace window holds
@@ -97,91 +95,123 @@ func (s *scanOp) Open(ctx *Ctx) error {
 // page's row count would change it. Pages hold ~10²–10³ rows, plenty to
 // amortize per-batch overhead.
 func (s *scanOp) Next(ctx *Ctx) (*expr.Batch, error) {
-	s.out.Reset()
-	for s.out.Len() == 0 {
-		ctx.Flush()  // close the previous page's pipeline-wide cost window
-		dst := s.out // filterless scans read pages straight into the output
-		if s.filter != nil {
-			s.raw.Reset()
-			dst = s.raw
-		}
-		bytes, nRows, ok := s.scan.ReadInto(dst)
+	for {
+		ctx.Flush() // close the previous page's pipeline-wide cost window
+		bytes, nRows, ok := s.scan.ReadInto(&s.view)
 		if !ok {
-			break
+			return nil, nil
 		}
 		ctx.chargePageStream(bytes)
 		ctx.chargePageTuples(nRows)
 		if s.filter != nil {
-			expr.FilterBatch(s.filter, s.raw.Rows, s.out, &s.meter)
+			s.sel = expr.FilterBatch(s.filter, &s.view, s.sel, &s.meter)
 			ctx.ChargeExpr(&s.meter)
+			if len(s.sel) == 0 {
+				continue
+			}
+			s.view.Sel = s.sel
 		}
+		return &s.view, nil
 	}
-	if s.out.Len() == 0 {
-		return nil, nil
-	}
-	return s.out, nil
 }
 
 func (s *scanOp) Close(*Ctx) error {
-	s.scan, s.raw, s.out = nil, nil, nil
+	s.scan, s.sel = nil, nil
+	s.view = expr.Batch{}
 	return nil
 }
 
-// filterOp drops rows failing the predicate, one input batch at a time.
-type filterOp struct {
-	input Operator
-	pred  expr.Expr
+// fusedOp runs a chain of adjacent filter/project stages as one operator —
+// operator fusion: every stage of a batch runs back to back over the same
+// column vectors with no per-stage operator dispatch, filters narrowing
+// the selection vector in place of copying rows and projections writing
+// fresh vectors. Cycle charging is per stage, in pipeline order, exactly
+// as the unfused filter/project operators charged.
+type fusedOp struct {
+	input  Operator
+	stages []fragStage
+	schema *catalog.Schema
 
-	out   *expr.Batch
-	meter expr.Cost
+	views  []expr.Batch // per stage: filter view or owned project output
+	sels   [][]int32    // per filter stage: reused selection buffer
+	meters []expr.Cost
 }
 
-func (f *filterOp) Schema() *catalog.Schema { return f.input.Schema() }
+func (f *fusedOp) Schema() *catalog.Schema { return f.schema }
 
-func (f *filterOp) Open(ctx *Ctx) error {
-	f.out = expr.NewBatch(ctx.BatchTarget())
+func (f *fusedOp) Open(ctx *Ctx) error {
+	f.views = make([]expr.Batch, len(f.stages))
+	f.sels = make([][]int32, len(f.stages))
+	f.meters = make([]expr.Cost, len(f.stages))
+	for i, st := range f.stages {
+		if st.exprs != nil {
+			f.views[i] = *expr.NewBatch(len(st.exprs))
+		}
+	}
 	return f.input.Open(ctx)
 }
 
-func (f *filterOp) Next(ctx *Ctx) (*expr.Batch, error) {
+func (f *fusedOp) Next(ctx *Ctx) (*expr.Batch, error) {
 	for {
 		in, err := f.input.Next(ctx)
 		if err != nil || in == nil {
 			return nil, err
 		}
-		f.out.Reset()
-		expr.FilterBatch(f.pred, in.Rows, f.out, &f.meter)
-		ctx.ChargeExpr(&f.meter)
-		if f.out.Len() > 0 {
-			return f.out, nil
+		cur := in
+		for i := range f.stages {
+			st := &f.stages[i]
+			m := &f.meters[i]
+			if st.pred != nil {
+				f.sels[i] = expr.FilterBatch(st.pred, cur, f.sels[i], m)
+				ctx.ChargeExpr(m)
+				v := &f.views[i]
+				v.Alias(cur, f.sels[i])
+				cur = v
+			} else {
+				out := &f.views[i]
+				for c := range st.exprs {
+					expr.EvalBatch(st.exprs[c], cur, &out.Cols[c], m)
+				}
+				out.N, out.Sel = cur.Len(), nil
+				ctx.ChargeExpr(m)
+				cur = out
+			}
+			if cur.Len() == 0 {
+				break
+			}
+		}
+		if cur.Len() > 0 {
+			return cur, nil
 		}
 	}
 }
 
-func (f *filterOp) Close(ctx *Ctx) error {
-	f.out = nil
+func (f *fusedOp) Close(ctx *Ctx) error {
+	f.views, f.sels, f.meters = nil, nil, nil
 	return f.input.Close(ctx)
 }
 
 // hashJoinOp materializes the build side into a hash table keyed on a
 // single column during Open, then streams the probe side batch by batch.
-// Output rows are buildRow ++ probeRow; an optional residual predicate
-// filters matches.
+// Output rows are buildRow ++ probeRow, assembled columnar into the output
+// batch; an optional residual predicate filters matches.
 type hashJoinOp struct {
 	build, probe       Operator
 	buildKey, probeKey int
 	residual           expr.Expr
 	schema             *catalog.Schema
 
-	table map[expr.Value][]expr.Row
-	out   *expr.Batch
-	meter expr.Cost
+	table    map[expr.Value][]expr.Row
+	out      *expr.Batch
+	probeRow expr.Row
+	catRow   expr.Row
+	meter    expr.Cost
 }
 
 func (j *hashJoinOp) Schema() *catalog.Schema { return j.schema }
 
 func (j *hashJoinOp) Open(ctx *Ctx) error {
-	j.out = expr.NewBatch(ctx.BatchTarget())
+	j.out = expr.NewBatch(j.schema.NumCols())
 	j.table = make(map[expr.Value][]expr.Row)
 	if err := j.build.Open(ctx); err != nil {
 		return err
@@ -195,7 +225,7 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 		if b == nil {
 			break
 		}
-		for _, row := range b.Rows {
+		for _, row := range b.Rows() {
 			k := row[j.buildKey]
 			if k.IsNull() {
 				// NULL never equals NULL under join semantics (Cmp.Eval
@@ -217,8 +247,6 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 }
 
 func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
-	buildWidth := j.build.Schema().NumCols()
-	probeWidth := j.probe.Schema().NumCols()
 	for {
 		in, err := j.probe.Next(ctx)
 		if err != nil || in == nil {
@@ -228,8 +256,9 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 		ctx.Charge(cpu.MemStall, ctx.Cost.ProbeStallCycles*float64(in.Len()))
 		j.out.Reset()
 		matches := 0
-		for _, row := range in.Rows {
-			k := row[j.probeKey]
+		kvec := &in.Cols[j.probeKey]
+		for li, n := 0, in.Len(); li < n; li++ {
+			k := kvec.Get(in.RowIdx(li))
 			if k.IsNull() {
 				continue
 			}
@@ -237,15 +266,14 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 			if !ok {
 				continue
 			}
+			j.probeRow = in.Row(li, j.probeRow)
 			for _, b := range hits {
 				matches++
-				out := make(expr.Row, 0, buildWidth+probeWidth)
-				out = append(out, b...)
-				out = append(out, row...)
-				if j.residual != nil && !j.residual.Eval(out, &j.meter).Truthy() {
+				j.catRow = append(append(j.catRow[:0], b...), j.probeRow...)
+				if j.residual != nil && !j.residual.Eval(j.catRow, &j.meter).Truthy() {
 					continue
 				}
-				j.out.Append(out)
+				j.out.AppendRow(j.catRow)
 			}
 		}
 		ctx.Charge(cpu.Compute, ctx.Cost.MatchCycles*float64(matches))
@@ -259,57 +287,6 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 func (j *hashJoinOp) Close(ctx *Ctx) error {
 	j.table, j.out = nil, nil
 	return j.probe.Close(ctx)
-}
-
-// projectOp computes output expressions column-at-a-time over each input
-// batch, packing the output rows into one backing allocation per batch.
-type projectOp struct {
-	input  Operator
-	exprs  []expr.Expr
-	schema *catalog.Schema
-
-	out   *expr.Batch
-	cols  [][]expr.Value // scratch: one value column per expression
-	meter expr.Cost
-}
-
-func (p *projectOp) Schema() *catalog.Schema { return p.schema }
-
-func (p *projectOp) Open(ctx *Ctx) error {
-	p.out = expr.NewBatch(ctx.BatchTarget())
-	p.cols = make([][]expr.Value, len(p.exprs))
-	return p.input.Open(ctx)
-}
-
-func (p *projectOp) Next(ctx *Ctx) (*expr.Batch, error) {
-	in, err := p.input.Next(ctx)
-	if err != nil || in == nil {
-		return nil, err
-	}
-	for i, e := range p.exprs {
-		p.cols[i] = expr.EvalBatch(e, in.Rows, p.cols[i][:0], &p.meter)
-	}
-	ctx.ChargeExpr(&p.meter)
-
-	// Assemble rows from the evaluated columns. The backing array is
-	// freshly allocated per batch because output rows may be retained
-	// downstream (sort buffers, materialized results).
-	n, width := in.Len(), len(p.exprs)
-	backing := make([]expr.Value, n*width)
-	p.out.Reset()
-	for r := 0; r < n; r++ {
-		row := backing[r*width : (r+1)*width : (r+1)*width]
-		for c := range p.cols {
-			row[c] = p.cols[c][r]
-		}
-		p.out.Append(expr.Row(row))
-	}
-	return p.out, nil
-}
-
-func (p *projectOp) Close(ctx *Ctx) error {
-	p.out, p.cols = nil, nil
-	return p.input.Close(ctx)
 }
 
 // aggState accumulates one group.
@@ -352,6 +329,7 @@ func (a *aggOp) Schema() *catalog.Schema { return a.schema }
 
 func (a *aggOp) Open(ctx *Ctx) error {
 	a.results, a.pos, a.started = nil, 0, false
+	a.out = *expr.NewBatch(a.schema.NumCols())
 	return a.input.Open(ctx)
 }
 
@@ -366,12 +344,15 @@ func (a *aggOp) Next(ctx *Ctx) (*expr.Batch, error) {
 }
 
 // consume drains the input, grouping rows and folding aggregates, then
-// materializes one output row per group in first-seen order.
+// materializes one output row per group in first-seen order. Tuples are
+// gathered from the columnar input into one reused scratch row: grouping
+// keys and aggregate arguments evaluate row-at-a-time by nature.
 func (a *aggOp) consume(ctx *Ctx) error {
 	groups := make(map[string]*aggState)
 	order := make([]string, 0, 16) // deterministic emission order (first seen)
 	var meter expr.Cost
 	var keyBuf []byte
+	var scratch expr.Row
 
 	for {
 		in, err := a.input.Next(ctx)
@@ -384,7 +365,9 @@ func (a *aggOp) consume(ctx *Ctx) error {
 		n := float64(in.Len())
 		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles*n)
 		ctx.Charge(cpu.MemStall, ctx.Cost.AggStallCycles*n)
-		for _, row := range in.Rows {
+		for li, nr := 0, in.Len(); li < nr; li++ {
+			scratch = in.Row(li, scratch)
+			row := scratch
 			keyBuf = keyBuf[:0]
 			for _, g := range a.groupBy {
 				keyBuf = expr.AppendGroupKey(keyBuf, row[g])
@@ -491,7 +474,9 @@ func minOrNull(seen bool, v expr.Value) expr.Value {
 }
 
 // sortOp materializes its input on the first Next and sorts it, charging
-// n·log₂n compares, then serves the ordered rows in batches.
+// n·log₂n compares, then serves the ordered rows in batches. Sorting is
+// row-at-a-time by nature, so the input batches are re-rowified into the
+// sort buffer.
 type sortOp struct {
 	input Operator
 	keys  []plan.SortKey
@@ -506,6 +491,7 @@ func (s *sortOp) Schema() *catalog.Schema { return s.input.Schema() }
 
 func (s *sortOp) Open(ctx *Ctx) error {
 	s.rows, s.pos, s.started = nil, 0, false
+	s.out = *expr.NewBatch(s.input.Schema().NumCols())
 	return s.input.Open(ctx)
 }
 
@@ -520,7 +506,7 @@ func (s *sortOp) Next(ctx *Ctx) (*expr.Batch, error) {
 			if in == nil {
 				break
 			}
-			s.rows = append(s.rows, in.Rows...)
+			s.rows = in.AppendRowsTo(s.rows)
 		}
 		sort.SliceStable(s.rows, func(i, j int) bool {
 			for _, k := range s.keys {
@@ -559,13 +545,16 @@ type limitOp struct {
 
 	remaining int
 	done      bool
+	identSel  []int32 // identity selection for prefix views of dense input
 	out       expr.Batch
+	final     expr.Batch
 }
 
 func (l *limitOp) Schema() *catalog.Schema { return l.input.Schema() }
 
 func (l *limitOp) Open(ctx *Ctx) error {
 	l.remaining, l.done = l.n, false
+	l.final = *expr.NewBatch(l.input.Schema().NumCols())
 	return l.input.Open(ctx)
 }
 
@@ -585,19 +574,28 @@ func (l *limitOp) Next(ctx *Ctx) (*expr.Batch, error) {
 		if l.remaining == 0 {
 			continue // past the limit: keep draining the input's work
 		}
-		keep := in.Rows
-		if len(keep) > l.remaining {
-			keep = keep[:l.remaining]
+		keep := in.Len()
+		if keep > l.remaining {
+			keep = l.remaining
 		}
-		l.remaining -= len(keep)
+		l.remaining -= keep
 		if l.remaining > 0 {
-			l.out.Rows = keep
+			// Mid-stream: a zero-copy prefix view of the input batch.
+			if in.Sel != nil {
+				l.out.Alias(in, in.Sel[:keep])
+			} else {
+				for i := len(l.identSel); i < keep; i++ {
+					l.identSel = append(l.identSel, int32(i))
+				}
+				l.out.Alias(in, l.identSel[:keep])
+			}
 			return &l.out, nil
 		}
 		// Limit reached: copy the final rows out of the input's reusable
 		// batch, then drain the rest of the input so its full cost lands
 		// inside this query.
-		l.out.Rows = append(make([]expr.Row, 0, len(keep)), keep...)
+		l.final.Reset()
+		l.final.AppendBatch(in, keep)
 		for {
 			rest, err := l.input.Next(ctx)
 			if err != nil {
@@ -608,7 +606,7 @@ func (l *limitOp) Next(ctx *Ctx) (*expr.Batch, error) {
 			}
 		}
 		l.done = true
-		return &l.out, nil
+		return &l.final, nil
 	}
 }
 
@@ -616,9 +614,9 @@ func (l *limitOp) Close(ctx *Ctx) error {
 	return l.input.Close(ctx)
 }
 
-// serveBuffered hands out successive batch-sized windows of rows, advancing
-// *pos; it returns nil once all rows are served. The window batch aliases
-// rows directly — no copying.
+// serveBuffered hands out successive batch-sized windows of buffered rows
+// rebuilt columnar into out, advancing *pos; it returns nil once all rows
+// are served.
 func serveBuffered(ctx *Ctx, rows []expr.Row, pos *int, out *expr.Batch) *expr.Batch {
 	if *pos >= len(rows) {
 		return nil
@@ -627,7 +625,10 @@ func serveBuffered(ctx *Ctx, rows []expr.Row, pos *int, out *expr.Batch) *expr.B
 	if end > len(rows) {
 		end = len(rows)
 	}
-	out.Rows = rows[*pos:end:end]
+	out.Reset()
+	for _, r := range rows[*pos:end] {
+		out.AppendRow(r)
+	}
 	*pos = end
 	return out
 }

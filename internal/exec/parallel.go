@@ -52,16 +52,14 @@ func compile(n plan.Node, workers int, leaf ScanLeaf) Operator {
 			return leaf(n)
 		}
 		return &scanOp{table: n.Table, filter: n.Filter}
-	case *plan.Filter:
-		return &filterOp{input: compile(n.Input, workers, leaf), pred: n.Pred}
+	case *plan.Filter, *plan.Project:
+		return compileFused(n, workers, leaf)
 	case *plan.HashJoin:
 		return &hashJoinOp{
 			build: compile(n.Build, workers, leaf), probe: compile(n.Probe, workers, leaf),
 			buildKey: n.BuildKey, probeKey: n.ProbeKey,
 			residual: n.Residual, schema: n.Schema(),
 		}
-	case *plan.Project:
-		return &projectOp{input: compile(n.Input, workers, leaf), exprs: n.Exprs, schema: n.Schema()}
 	case *plan.Agg:
 		return &aggOp{input: compile(n.Input, workers, leaf), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
 	case *plan.Sort:
@@ -71,6 +69,35 @@ func compile(n plan.Node, workers int, leaf ScanLeaf) Operator {
 	default:
 		panic(fmt.Sprintf("exec: cannot compile %T", n))
 	}
+}
+
+// compileFused folds the maximal chain of adjacent Filter/Project nodes
+// rooted at n into one fused operator over the chain's input — operator
+// fusion for the serial pipeline, mirroring what planFragment does for the
+// morsel-parallel leaf. Stage order is bottom-up (execution order); cycle
+// charging per stage is identical to the unfused operator chain.
+func compileFused(n plan.Node, workers int, leaf ScanLeaf) Operator {
+	schema := n.Schema()
+	var topDown []fragStage
+	cur := n
+walk:
+	for {
+		switch t := cur.(type) {
+		case *plan.Filter:
+			topDown = append(topDown, fragStage{pred: t.Pred})
+			cur = t.Input
+		case *plan.Project:
+			topDown = append(topDown, fragStage{exprs: t.Exprs})
+			cur = t.Input
+		default:
+			break walk
+		}
+	}
+	stages := make([]fragStage, len(topDown))
+	for i, st := range topDown {
+		stages[len(stages)-1-i] = st
+	}
+	return &fusedOp{input: compile(cur, workers, leaf), stages: stages, schema: schema}
 }
 
 // fragStage is one worker-side stage of a fragment: a filter predicate or
@@ -117,67 +144,49 @@ func planFragment(n plan.Node) (*fragment, bool) {
 }
 
 // morselResult is one page's worth of finished worker output: the
-// surviving rows plus everything the coordinator needs to replay the
-// page's simulated accounting — byte/row counts for the scan charges and
-// one private cost meter per pipeline stage, charged in stage order so the
-// floating-point accumulation matches the serial pipeline bit for bit.
+// surviving batch (a selection-narrowed view of the page's column vectors,
+// or fresh projected vectors) plus everything the coordinator needs to
+// replay the page's simulated accounting — byte/row counts for the scan
+// charges and one private cost meter per pipeline stage, charged in stage
+// order so the floating-point accumulation matches the serial pipeline bit
+// for bit.
 type morselResult struct {
 	idx       int
 	pageBytes int64
 	pageRows  int
-	rows      []expr.Row
 	meters    []expr.Cost // scan-filter meter first, then one per stage
-	batch     expr.Batch  // handed to the consumer; aliases rows
+	batch     expr.Batch
 }
 
 // run executes the fragment over one page in worker context: real
 // computation and private cost metering only, no simulated-machine access.
+// The batch starts as a zero-copy view of the page's column vectors;
+// filters narrow its selection vector, projections replace it with fresh
+// vectors owned by the result.
 func (f *fragment) run(idx int, page *storage.Page) *morselResult {
 	res := &morselResult{
-		idx: idx, pageBytes: page.Bytes, pageRows: len(page.Rows),
+		idx: idx, pageBytes: page.Bytes, pageRows: page.NumRows(),
 		meters: make([]expr.Cost, 1+len(f.stages)),
 	}
-	rows := page.Rows
+	res.batch.Alias(&page.Data, nil)
 	if f.scanFilter != nil {
-		out := expr.NewBatch(len(rows))
-		expr.FilterBatch(f.scanFilter, rows, out, &res.meters[0])
-		rows = out.Rows
+		res.batch.Sel = expr.FilterBatch(f.scanFilter, &res.batch, nil, &res.meters[0])
 	}
 	for i := range f.stages {
 		st := &f.stages[i]
 		m := &res.meters[1+i]
 		if st.pred != nil {
-			out := expr.NewBatch(len(rows))
-			expr.FilterBatch(st.pred, rows, out, m)
-			rows = out.Rows
+			res.batch.Sel = expr.FilterBatch(st.pred, &res.batch, nil, m)
 			continue
 		}
-		rows = projectRows(st.exprs, rows, m)
-	}
-	res.rows = rows
-	return res
-}
-
-// projectRows mirrors projectOp.Next: expressions are evaluated
-// column-at-a-time (the same Eval call order, so the charged cycles are
-// identical), written directly into one fresh backing allocation — output
-// rows may be retained downstream.
-func projectRows(exprs []expr.Expr, in []expr.Row, m *expr.Cost) []expr.Row {
-	if len(in) == 0 {
-		return nil
-	}
-	n, width := len(in), len(exprs)
-	backing := make([]expr.Value, n*width)
-	for c, e := range exprs {
-		for r, row := range in {
-			backing[r*width+c] = e.Eval(row, m)
+		out := expr.NewBatch(len(st.exprs))
+		for c := range st.exprs {
+			expr.EvalBatch(st.exprs[c], &res.batch, &out.Cols[c], m)
 		}
+		out.N = res.batch.Len()
+		res.batch = *out
 	}
-	out := make([]expr.Row, n)
-	for r := 0; r < n; r++ {
-		out[r] = expr.Row(backing[r*width : (r+1)*width : (r+1)*width])
-	}
-	return out
+	return res
 }
 
 // morselExec is the morsel-driven parallel leaf operator: a dispatcher
@@ -317,8 +326,7 @@ func (m *morselExec) merge(ctx *Ctx, res *morselResult) *expr.Batch {
 	for i := range res.meters {
 		ctx.ChargeExpr(&res.meters[i])
 	}
-	if len(res.rows) > 0 {
-		res.batch.Rows = res.rows
+	if res.batch.Len() > 0 {
 		return &res.batch
 	}
 	return nil

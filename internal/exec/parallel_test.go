@@ -37,7 +37,7 @@ func runWorkers(t *testing.T, p plan.Node, workers int, withPool bool) outcome {
 	ctx.PageHook = func() { out.hooks++ }
 	op := CompileParallel(p, workers)
 	if err := Drain(ctx, op, func(b *expr.Batch) error {
-		out.rows = append(out.rows, b.Rows...)
+		out.rows = b.AppendRowsTo(out.rows)
 		return nil
 	}); err != nil {
 		t.Fatalf("drain (workers=%d): %v", workers, err)

@@ -23,7 +23,8 @@ type sharedScanOp struct {
 	filter expr.Expr
 
 	cons  *scanshare.Consumer
-	out   *expr.Batch
+	view  expr.Batch // current page view; Sel points into sel
+	sel   []int32
 	meter expr.Cost
 }
 
@@ -37,34 +38,32 @@ func (s *sharedScanOp) Schema() *catalog.Schema { return s.table.Schema }
 
 func (s *sharedScanOp) Open(ctx *Ctx) error {
 	s.cons = s.coord.Attach()
-	s.out = expr.NewBatch(ctx.BatchTarget())
 	return nil
 }
 
 func (s *sharedScanOp) Next(ctx *Ctx) (*expr.Batch, error) {
-	s.out.Reset()
-	for s.out.Len() == 0 {
+	for {
 		ctx.Flush() // close the previous page's pipeline-wide cost window
 		_, page, ok := s.cons.Next(func(_ int, bytes int64) {
 			// Shared charges: fired once per pass, on the advancing pull.
 			ctx.chargePageStream(bytes)
 		})
 		if !ok {
-			break
+			return nil, nil
 		}
 		// Per-consumer charges: every query interprets the tuples itself.
-		ctx.chargePageTuples(len(page.Rows))
+		ctx.chargePageTuples(page.NumRows())
+		s.view.Alias(&page.Data, nil)
 		if s.filter != nil {
-			expr.FilterBatch(s.filter, page.Rows, s.out, &s.meter)
+			s.sel = expr.FilterBatch(s.filter, &s.view, s.sel, &s.meter)
 			ctx.ChargeExpr(&s.meter)
-		} else {
-			s.out.Rows = append(s.out.Rows, page.Rows...)
+			if len(s.sel) == 0 {
+				continue
+			}
+			s.view.Sel = s.sel
 		}
+		return &s.view, nil
 	}
-	if s.out.Len() == 0 {
-		return nil, nil
-	}
-	return s.out, nil
 }
 
 func (s *sharedScanOp) Close(*Ctx) error {
@@ -72,7 +71,7 @@ func (s *sharedScanOp) Close(*Ctx) error {
 		s.cons.Close()
 		s.cons = nil
 	}
-	s.out = nil
+	s.view, s.sel = expr.Batch{}, nil
 	return nil
 }
 

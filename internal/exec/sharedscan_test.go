@@ -90,7 +90,7 @@ func TestSharedScanChargesStreamOncePerPass(t *testing.T) {
 				remaining--
 				continue
 			}
-			gotRows[i] = append(gotRows[i], b.Rows...)
+			gotRows[i] = b.AppendRowsTo(gotRows[i])
 		}
 	}
 	ctx.Flush()

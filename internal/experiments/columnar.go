@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ecodb/internal/core"
+	"ecodb/internal/energy"
+	"ecodb/internal/engine"
+	"ecodb/internal/expr"
+	"ecodb/internal/sim"
+	"ecodb/internal/tpch"
+	"ecodb/internal/workload"
+)
+
+// ColumnarPoint is one workload size's row-vs-columnar comparison on the
+// filter-heavy band-selection workload.
+type ColumnarPoint struct {
+	N int
+
+	// RowWall and ColWall are real Go wall-clock — the resource the
+	// columnar representation actually changes.
+	RowWall, ColWall time.Duration
+	// RowTime/ColTime and the per-query joules are simulated: the
+	// representation change is charging-neutral by construction, so these
+	// pairs must match exactly.
+	RowTime, ColTime           sim.Duration
+	RowPerQuery, ColPerQuery   energy.Joules
+	Speedup                    float64 // RowWall / ColWall
+	SimulatedJoulesIdentical   bool
+	SimulatedDurationIdentical bool
+}
+
+// ColumnarResult is the columnar-execution ablation: the filter-heavy
+// workload replayed row-at-a-time (gather + interpreted Eval per tuple)
+// versus through the columnar fast paths, per workload size. With
+// enabled=false the treated arm also runs row-at-a-time and the wall-clock
+// deltas collapse — the control arm.
+type ColumnarResult struct {
+	Config  Config
+	Enabled bool
+	Points  []ColumnarPoint
+}
+
+// ColumnarWorkloadSizes are the batch sizes the ablation sweeps.
+var ColumnarWorkloadSizes = []int{1, 4, 16}
+
+// ColumnarScan replays a filter-heavy TPC-H selection workload (the band
+// selections of the shared-scan ablation: scan→filter over lineitem) on
+// the commercial profile, row-at-a-time versus columnar. Unlike the other
+// experiments this one measures REAL wall-clock — the paper's thesis is
+// that software choices determine the energy a query burns, and the
+// executor's representation is exactly such a choice: simulated-era joules
+// per query stay bit-identical while the modern host does measurably less
+// work per tuple.
+func ColumnarScan(cfg Config, enabled bool) ColumnarResult {
+	runs := cfg.ProtocolRuns
+	if runs < 1 {
+		runs = 1
+	}
+	defer expr.SetRowAtATime(false)
+
+	res := ColumnarResult{Config: cfg, Enabled: enabled}
+	for _, n := range ColumnarWorkloadSizes {
+		// Each arm gets a FRESH system: the commercial profile's
+		// background-I/O randomness advances with every query, so only
+		// identical from-boot replays can be compared bit for bit. The
+		// best wall-clock over the protocol runs drops scheduler noise;
+		// simulated numbers come from the first run (all runs of one arm
+		// replay the same per-run sequence as the other arm's).
+		arm := func(rowAtATime bool) (wall time.Duration, simT sim.Duration, perQ energy.Joules) {
+			prof := engine.ProfileCommercial()
+			prof.WorkAmplification = cfg.Amplification
+			sys := core.NewSystem(prof)
+			tpch.NewGenerator(cfg.SF, cfg.Seed).Load(sys.Engine.Catalog(), tpch.Lineitem)
+			sys.Engine.WarmAll()
+			clock := sys.Machine.Clock
+			trace := sys.Machine.CPU.Trace()
+			queries := workload.NewQueries("band", tpch.QuantityBandWorkload(sys.Engine.Catalog(), n))
+
+			expr.SetRowAtATime(rowAtATime)
+			for rep := 0; rep < runs; rep++ {
+				t0 := clock.Now()
+				w0 := time.Now()
+				workload.RunSequential(sys.Engine, clock, queries)
+				w := time.Since(w0)
+				if rep == 0 || w < wall {
+					wall = w
+				}
+				if rep == 0 {
+					simT = clock.Now().Sub(t0)
+					perQ = energy.PerQuery(trace.Energy(t0, clock.Now()), n)
+				}
+			}
+			return wall, simT, perQ
+		}
+
+		rowWall, rowT, rowJ := arm(true)
+		colWall, colT, colJ := arm(!enabled)
+
+		res.Points = append(res.Points, ColumnarPoint{
+			N:                          n,
+			RowWall:                    rowWall,
+			ColWall:                    colWall,
+			RowTime:                    rowT,
+			ColTime:                    colT,
+			RowPerQuery:                rowJ,
+			ColPerQuery:                colJ,
+			Speedup:                    float64(rowWall) / float64(colWall),
+			SimulatedJoulesIdentical:   rowJ == colJ,
+			SimulatedDurationIdentical: rowT == colT,
+		})
+	}
+	return res
+}
+
+func (r ColumnarResult) String() string {
+	var b strings.Builder
+	mode := "columnar fast paths"
+	if !r.Enabled {
+		mode = "DISABLED (control arm: both arms row-at-a-time)"
+	}
+	fmt.Fprintf(&b, "Columnar execution ablation (%s)\n", r.Config)
+	fmt.Fprintf(&b, "  band-selection workload on lineitem, treated arm: %s\n\n", mode)
+	fmt.Fprintf(&b, "  %3s %14s %14s %9s %14s %14s %10s\n",
+		"N", "row wall", "columnar wall", "speedup", "row J/query", "col J/query", "sim equal")
+	for _, p := range r.Points {
+		equal := "yes"
+		if !p.SimulatedJoulesIdentical || !p.SimulatedDurationIdentical {
+			equal = "NO (BUG)"
+		}
+		fmt.Fprintf(&b, "  %3d %14v %14v %8.2fx %14v %14v %10s\n",
+			p.N, p.RowWall.Round(time.Microsecond), p.ColWall.Round(time.Microsecond),
+			p.Speedup, p.RowPerQuery, p.ColPerQuery, equal)
+	}
+	b.WriteString("\n  Simulated durations and joules per query are bit-identical across the\n")
+	b.WriteString("  two execution models by construction (the fast paths charge exactly what\n")
+	b.WriteString("  the interpreter charges); the wall-clock column is the real saving the\n")
+	b.WriteString("  columnar representation buys on the scan→filter hot path.\n")
+	return b.String()
+}

@@ -151,9 +151,6 @@ func Compare(a, b Value) int {
 			return 1
 		}
 	}
-	numeric := func(k Kind) bool {
-		return k == KindInt || k == KindFloat || k == KindDate || k == KindBool
-	}
 	switch {
 	case a.Kind == KindString && b.Kind == KindString:
 		switch {
@@ -163,7 +160,7 @@ func Compare(a, b Value) int {
 			return 1
 		}
 		return 0
-	case numeric(a.Kind) && numeric(b.Kind):
+	case numericKind(a.Kind) && numericKind(b.Kind):
 		x, y := a.AsFloat(), b.AsFloat()
 		switch {
 		case x < y:

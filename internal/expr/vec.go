@@ -1,0 +1,176 @@
+package expr
+
+// ColVec is one column of an execution batch in columnar layout: a single
+// kind tag, the values packed into one contiguous typed payload slice, and
+// an optional NULL bitmap. Predicate and projection loops run over the
+// payload slices directly — no per-value tag dispatch, no Row indirection —
+// which is what makes the columnar executor's inner loops SIMD-shaped.
+//
+// Representation invariants:
+//
+//   - Kind is the kind of every non-NULL element; KindNull while the vector
+//     is empty or all-NULL. Exactly one payload slice (I for Bool/Int/Date,
+//     F for Float, S for String) is maintained at full length once Kind is
+//     established; NULL elements hold a zero there.
+//   - Nulls is nil when no element is NULL; otherwise it has one entry per
+//     element.
+//   - Any is the heterogeneous escape hatch: if a column ever mixes value
+//     kinds (legal for Values, unheard of for real table data), the vector
+//     degrades to a plain []Value and Any becomes authoritative. Fast paths
+//     check for it and fall back to generic evaluation.
+//
+// Values read out of a vector are canonical: only the payload field implied
+// by the kind is set, exactly as the package constructors build them.
+type ColVec struct {
+	Kind  Kind
+	Nulls []bool
+	I     []int64
+	F     []float64
+	S     []string
+	Any   []Value
+	n     int
+}
+
+// Len returns the number of elements.
+func (v *ColVec) Len() int { return v.n }
+
+// Reset empties the vector, keeping payload capacity.
+func (v *ColVec) Reset() {
+	v.Kind = KindNull
+	v.Nulls = nil
+	v.I = v.I[:0]
+	v.F = v.F[:0]
+	v.S = v.S[:0]
+	v.Any = nil
+	v.n = 0
+}
+
+// HasNulls reports whether any element is NULL.
+func (v *ColVec) HasNulls() bool { return v.Nulls != nil }
+
+// IsNull reports whether element i is NULL.
+func (v *ColVec) IsNull(i int) bool {
+	if v.Any != nil {
+		return v.Any[i].Kind == KindNull
+	}
+	return v.Nulls != nil && v.Nulls[i]
+}
+
+// Get returns element i as a canonical Value.
+func (v *ColVec) Get(i int) Value {
+	if v.Any != nil {
+		return v.Any[i]
+	}
+	if v.Nulls != nil && v.Nulls[i] {
+		return Value{}
+	}
+	switch v.Kind {
+	case KindNull:
+		return Value{}
+	case KindFloat:
+		return Value{Kind: KindFloat, F: v.F[i]}
+	case KindString:
+		return Value{Kind: KindString, S: v.S[i]}
+	default:
+		return Value{Kind: v.Kind, I: v.I[i]}
+	}
+}
+
+// payloadAppendZero grows the established payload by one zero element.
+func (v *ColVec) payloadAppendZero() {
+	switch v.Kind {
+	case KindNull:
+	case KindFloat:
+		v.F = append(v.F, 0)
+	case KindString:
+		v.S = append(v.S, "")
+	default:
+		v.I = append(v.I, 0)
+	}
+}
+
+// degrade switches the vector to the heterogeneous []Value representation.
+func (v *ColVec) degrade() {
+	any := make([]Value, v.n, v.n+8)
+	for i := range any {
+		any[i] = v.Get(i)
+	}
+	v.Any = any
+	v.Nulls, v.I, v.F, v.S = nil, nil, nil, nil
+}
+
+// Append adds one value, establishing the vector's kind on the first
+// non-NULL element and degrading to the heterogeneous representation if a
+// second kind ever appears.
+func (v *ColVec) Append(val Value) {
+	if v.Any != nil {
+		v.Any = append(v.Any, val)
+		v.n++
+		return
+	}
+	if val.Kind == KindNull {
+		if v.Nulls == nil {
+			v.Nulls = make([]bool, v.n, v.n+8)
+		}
+		v.Nulls = append(v.Nulls, true)
+		v.payloadAppendZero()
+		v.n++
+		return
+	}
+	if v.Kind == KindNull {
+		// First non-NULL element: establish the kind, backfilling zeros
+		// under any leading NULLs.
+		v.Kind = val.Kind
+		for i := 0; i < v.n; i++ {
+			v.payloadAppendZero()
+		}
+	} else if val.Kind != v.Kind {
+		v.degrade()
+		v.Any = append(v.Any, val)
+		v.n++
+		return
+	}
+	if v.Nulls != nil {
+		v.Nulls = append(v.Nulls, false)
+	}
+	switch v.Kind {
+	case KindFloat:
+		v.F = append(v.F, val.F)
+	case KindString:
+		v.S = append(v.S, val.S)
+	default:
+		v.I = append(v.I, val.I)
+	}
+	v.n++
+}
+
+// AppendFrom appends src's elements — all of them when sel is nil,
+// otherwise the elements at the selected physical indices. The common dense
+// copy into an empty vector is a bulk payload copy.
+func (v *ColVec) AppendFrom(src *ColVec, sel []int32) {
+	if sel == nil {
+		if v.n == 0 {
+			v.Kind = src.Kind
+			v.I = append(v.I[:0], src.I...)
+			v.F = append(v.F[:0], src.F...)
+			v.S = append(v.S[:0], src.S...)
+			v.Nulls = nil
+			if src.Nulls != nil {
+				v.Nulls = append([]bool(nil), src.Nulls...)
+			}
+			v.Any = nil
+			if src.Any != nil {
+				v.Any = append([]Value(nil), src.Any...)
+			}
+			v.n = src.n
+			return
+		}
+		for i := 0; i < src.n; i++ {
+			v.Append(src.Get(i))
+		}
+		return
+	}
+	for _, i := range sel {
+		v.Append(src.Get(int(i)))
+	}
+}

@@ -220,7 +220,7 @@ func TestSplitterStreamingMatchesSplit(t *testing.T) {
 	// Gather every merged-result row straight off the heap.
 	var rows []expr.Row
 	for p := 0; p < lt.Heap.NumPages(); p++ {
-		for _, r := range lt.Heap.Page(p).Rows {
+		for _, r := range lt.Heap.Page(p).Rows() {
 			if q := r[qcol].I; q >= 1 && q <= 5 {
 				rows = append(rows, r)
 			}

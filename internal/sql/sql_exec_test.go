@@ -162,7 +162,7 @@ func TestSQLPlanStreamsThroughQuery(t *testing.T) {
 			break
 		}
 		batches++
-		streamed = append(streamed, b.Rows...)
+		streamed = b.AppendRowsTo(streamed)
 	}
 	if batches == 0 {
 		t.Fatal("stream produced no batches")

@@ -14,11 +14,21 @@ import (
 // to the paper's engines.
 const DefaultPageBytes = 8 << 10
 
-// Page holds a batch of rows with a storage footprint estimate.
+// Page holds one page's tuples in columnar layout — the on-"disk" unit the
+// executor scans — with a storage footprint estimate. Data's vectors are
+// owned by the page: scans hand out zero-copy views of them, so consumers
+// must never mutate a page's batch.
 type Page struct {
-	Rows  []expr.Row
+	Data  expr.Batch
 	Bytes int64
 }
+
+// NumRows returns the page's tuple count.
+func (p *Page) NumRows() int { return p.Data.N }
+
+// Rows materializes the page's tuples as rows with fresh backing — the
+// row-major view loaders and tests use; the executor reads Data directly.
+func (p *Page) Rows() []expr.Row { return p.Data.Rows() }
 
 // Heap is an append-only heap file of pages. The paper's experiments
 // create no indices ("In all our experiments, we did not create any
@@ -39,17 +49,19 @@ func NewHeap(pageTargetBytes int64) *Heap {
 	return &Heap{pageTarget: pageTargetBytes}
 }
 
-// Append adds a row to the heap, starting a new page when the current one
-// reaches the target size.
+// Append adds a row to the heap, decomposing it into the current page's
+// column vectors and starting a new page when the current one reaches the
+// target size. Page sizing uses the row-major footprint estimate, so page
+// boundaries are layout-independent.
 func (h *Heap) Append(row expr.Row) {
 	rb := row.Bytes()
 	n := len(h.pages)
 	if n == 0 || h.pages[n-1].Bytes+rb > h.pageTarget {
-		h.pages = append(h.pages, &Page{})
+		h.pages = append(h.pages, &Page{Data: *expr.NewBatch(len(row))})
 		n++
 	}
 	p := h.pages[n-1]
-	p.Rows = append(p.Rows, row)
+	p.Data.AppendRow(row)
 	p.Bytes += rb
 	h.rows++
 	h.bytes += rb

@@ -25,9 +25,9 @@ func NewPageScan(heap *Heap, table string, pool *BufferPool) *PageScan {
 }
 
 // ReadInto advances to the next page, touching the buffer pool when one is
-// attached, and appends the page's rows to dst. It reports the page's byte
-// size and row count; ok is false when the heap is exhausted (dst is then
-// untouched).
+// attached, and turns dst into a zero-copy view of the page's column
+// vectors (full selection). It reports the page's byte size and row count;
+// ok is false when the heap is exhausted (dst is then untouched).
 func (s *PageScan) ReadInto(dst *expr.Batch) (bytes int64, rows int, ok bool) {
 	if s.next >= s.heap.NumPages() {
 		return 0, 0, false
@@ -37,8 +37,8 @@ func (s *PageScan) ReadInto(dst *expr.Batch) (bytes int64, rows int, ok bool) {
 		s.pool.Access(PageID{Table: s.table, Index: s.next}, page.Bytes)
 	}
 	s.next++
-	dst.Rows = append(dst.Rows, page.Rows...)
-	return page.Bytes, len(page.Rows), true
+	dst.Alias(&page.Data, nil)
+	return page.Bytes, page.NumRows(), true
 }
 
 // Reset rewinds the cursor to the first page.

@@ -25,7 +25,7 @@ func TestHeapAppendAndPaging(t *testing.T) {
 	// Every row present, in order.
 	var seen int64
 	for p := 0; p < h.NumPages(); p++ {
-		for _, row := range h.Page(p).Rows {
+		for _, row := range h.Page(p).Rows() {
 			if row[0].I != seen {
 				t.Fatalf("row %d out of order: got %d", seen, row[0].I)
 			}

@@ -50,8 +50,8 @@ func TestGeneratorDeterminism(t *testing.T) {
 	if ta.Heap.NumRows() != tb.Heap.NumRows() {
 		t.Fatal("same seed produced different row counts")
 	}
-	ra := ta.Heap.Page(0).Rows[0]
-	rb := tb.Heap.Page(0).Rows[0]
+	ra := ta.Heap.Page(0).Rows()[0]
+	rb := tb.Heap.Page(0).Rows()[0]
 	for i := range ra {
 		if expr.Compare(ra[i], rb[i]) != 0 {
 			t.Fatalf("same seed produced different first rows: %v vs %v", ra, rb)
@@ -68,7 +68,7 @@ func TestForeignKeysValid(t *testing.T) {
 	ot := cat.MustTable(Orders)
 	ck := ot.Schema.MustIndex("o_custkey")
 	for p := 0; p < ot.Heap.NumPages(); p++ {
-		for _, row := range ot.Heap.Page(p).Rows {
+		for _, row := range ot.Heap.Page(p).Rows() {
 			if row[ck].I < 1 || row[ck].I > nCust {
 				t.Fatalf("o_custkey %d out of [1,%d]", row[ck].I, nCust)
 			}
@@ -78,7 +78,7 @@ func TestForeignKeysValid(t *testing.T) {
 	ok := lt.Schema.MustIndex("l_orderkey")
 	sk := lt.Schema.MustIndex("l_suppkey")
 	for p := 0; p < lt.Heap.NumPages(); p++ {
-		for _, row := range lt.Heap.Page(p).Rows {
+		for _, row := range lt.Heap.Page(p).Rows() {
 			if row[ok].I < 1 || row[ok].I > nOrders {
 				t.Fatalf("l_orderkey %d out of range", row[ok].I)
 			}
@@ -97,7 +97,7 @@ func TestNationRegionAssignments(t *testing.T) {
 	}
 	counts := map[int64]int{}
 	for p := 0; p < nt.Heap.NumPages(); p++ {
-		for _, row := range nt.Heap.Page(p).Rows {
+		for _, row := range nt.Heap.Page(p).Rows() {
 			rk := row[nt.Schema.MustIndex("n_regionkey")].I
 			if rk < 0 || rk > 4 {
 				t.Fatalf("n_regionkey %d out of range", rk)
@@ -119,7 +119,7 @@ func TestQuantityUniform(t *testing.T) {
 	counts := make(map[int64]int)
 	total := 0
 	for p := 0; p < lt.Heap.NumPages(); p++ {
-		for _, row := range lt.Heap.Page(p).Rows {
+		for _, row := range lt.Heap.Page(p).Rows() {
 			v := row[q].I
 			if v < 1 || v > 50 {
 				t.Fatalf("l_quantity %d outside 1..50", v)
@@ -143,7 +143,7 @@ func TestOrderDatesInRange(t *testing.T) {
 	d := ot.Schema.MustIndex("o_orderdate")
 	lo, hi := expr.MustParseDate("1992-01-01").I, expr.MustParseDate("1998-08-02").I
 	for p := 0; p < ot.Heap.NumPages(); p++ {
-		for _, row := range ot.Heap.Page(p).Rows {
+		for _, row := range ot.Heap.Page(p).Rows() {
 			if row[d].I < lo || row[d].I >= hi {
 				t.Fatalf("o_orderdate %v outside TPC-H range", row[d])
 			}
