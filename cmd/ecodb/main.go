@@ -32,6 +32,7 @@ var (
 	flagSeed     = flag.Uint64("seed", 0, "data-generation seed (0 = experiment default)")
 	flagShared   = flag.Bool("shared-scan", true, "serve non-mergeable QED batches from one shared heap pass (sharedscan experiment; false = control arm)")
 	flagColumnar = flag.Bool("columnar", true, "run the treated arm of the columnar experiment through the columnar fast paths (false = control arm: both arms row-at-a-time)")
+	flagParallel = flag.Bool("parallel-agg", true, "run the treated arm of the parallelagg experiment with worker goroutines (false = control arm: both arms serial)")
 )
 
 func main() {
@@ -71,6 +72,7 @@ experiments:
   mechanisms ablation: decompose setting A's savings by mechanism
   sharedscan ablation: QED shared-scan flush vs sequential (see -shared-scan)
   columnar  ablation: row-at-a-time vs columnar execution wall-clock (see -columnar)
+  parallelagg ablation: serial vs morsel-parallel aggregation wall-clock (see -parallel-agg)
   all       every paper experiment (table1..fig6, warmcold)
 
 flags:
@@ -124,8 +126,10 @@ func runOne(name string) error {
 		out = experiments.SharedScans(override(experiments.DefaultCommercialConfig()), *flagShared)
 	case "columnar":
 		out = experiments.ColumnarScan(override(experiments.DefaultCommercialConfig()), *flagColumnar)
+	case "parallelagg":
+		out = experiments.ParallelAgg(override(experiments.DefaultCommercialConfig()), *flagParallel)
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar all; flags go before the experiment name)", name)
+		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar parallelagg all; flags go before the experiment name)", name)
 	}
 	fmt.Println(out)
 	fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

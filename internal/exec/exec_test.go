@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sort"
 	"testing"
 
 	"ecodb/internal/catalog"
@@ -309,6 +310,60 @@ func TestGroupKeysAreInjective(t *testing.T) {
 		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
 	if rows := collect(t, Compile(a2), ctx2); len(rows) != 2 {
 		t.Fatalf("kind-crossing groups collapsed: %d groups, want 2", len(rows))
+	}
+}
+
+func TestAggOutputOrderDeterministic(t *testing.T) {
+	// Regression for the map-iteration emission order: groups come out in
+	// sorted encoded-group-key order — a pure function of the group set —
+	// never in map, first-seen, or worker-dependent order. Feeding the
+	// same rows in two different orders must emit byte-identical results.
+	build := func(groups []string) *catalog.Table {
+		tb := catalog.NewTable("t", catalog.NewSchema(
+			catalog.Column{Name: "g", Kind: expr.KindString},
+			catalog.Column{Name: "one", Kind: expr.KindInt},
+		))
+		for _, g := range groups {
+			tb.Insert(expr.Row{expr.String(g), expr.Int(1)})
+		}
+		return tb
+	}
+	run := func(tb *catalog.Table) []expr.Row {
+		ctx, _ := testCtx()
+		a := plan.NewAgg(plan.NewScan(tb, nil), []int{0},
+			[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
+		return collect(t, Compile(a), ctx)
+	}
+
+	// Same multiset, different first-seen orders.
+	a := run(build([]string{"pear", "apple", "plum", "apple", "pear", "fig"}))
+	b := run(build([]string{"fig", "plum", "pear", "apple", "apple", "pear"}))
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("got %d and %d groups, want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+			t.Fatalf("row %d differs across input orders: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	// The order is exactly ascending encoded group keys.
+	want := make([]string, len(a))
+	for i, r := range a {
+		want[i] = string(expr.AppendGroupKey(nil, r[0]))
+	}
+	if !sort.StringsAreSorted(want) {
+		t.Fatalf("emission order is not sorted by encoded group key: %v", a)
+	}
+
+	// Map iteration is randomized per run; repeated runs must not wobble.
+	for i := 0; i < 5; i++ {
+		c := run(build([]string{"pear", "apple", "plum", "apple", "pear", "fig"}))
+		for j := range a {
+			if a[j][0] != c[j][0] {
+				t.Fatalf("repeat %d reordered groups: %v vs %v", i, a, c)
+			}
+		}
 	}
 }
 

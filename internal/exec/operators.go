@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ecodb/internal/catalog"
 	"ecodb/internal/expr"
@@ -193,6 +194,9 @@ func (f *fusedOp) Close(ctx *Ctx) error {
 
 // hashJoinOp materializes the build side into a hash table keyed on a
 // single column during Open, then streams the probe side batch by batch.
+// With workers > 1 the table is radix-partitioned by key hash and each
+// worker builds one partition — the build side's real construction cost
+// spreads across cores while the probe stays a merged single stream.
 // Output rows are buildRow ++ probeRow, assembled columnar into the output
 // batch; an optional residual predicate filters matches.
 type hashJoinOp struct {
@@ -200,21 +204,54 @@ type hashJoinOp struct {
 	buildKey, probeKey int
 	residual           expr.Expr
 	schema             *catalog.Schema
+	workers            int
 
-	table    map[expr.Value][]expr.Row
+	// parts are the partitioned build tables: a key's partition is
+	// HashValue(key) mod len(parts), so every key lives wholly in one
+	// partition and a probe looks up exactly one map. With one partition
+	// (workers <= 1, or a build side too small to be worth splitting) no
+	// hashes are computed at all.
+	parts    []map[expr.Value][]expr.Row
 	out      *expr.Batch
 	probeRow expr.Row
 	catRow   expr.Row
 	meter    expr.Cost
 }
 
+// minPartitionBuildRows is the build-side size below which the partitioned
+// build is not worth it: splitting a dimension-table build across workers
+// saves microseconds while charging every probe row one HashValue call to
+// pick a partition. Below the threshold the join keeps the serial
+// single-map build and the probe's native one-map lookup.
+const minPartitionBuildRows = 8192
+
 func (j *hashJoinOp) Schema() *catalog.Schema { return j.schema }
 
+// Open drains the build side, charging build work per batch exactly as the
+// single-table build did, then — at workers > 1 — constructs the
+// partitioned hash tables in parallel. The serial path inserts rows
+// directly during the drain, as it always has; the parallel path only
+// copies each batch columnar during the drain (a bulk payload copy —
+// batches are valid only until the next pull) and defers row
+// materialization, key hashing, and table insertion to the partition
+// workers. Simulated accounting happens entirely during the drain (table
+// construction is real work only), so results, durations, and joules are
+// identical across worker counts; per-key row lists keep global build
+// order because every partition builder scans the drained batches in
+// order. NULL keys never enter a table: NULL never equals NULL under join
+// semantics (Cmp.Eval returns false on NULL), so they could never meet a
+// NULL probe key.
 func (j *hashJoinOp) Open(ctx *Ctx) error {
 	j.out = expr.NewBatch(j.schema.NumCols())
-	j.table = make(map[expr.Value][]expr.Row)
 	if err := j.build.Open(ctx); err != nil {
 		return err
+	}
+	parallel := j.workers > 1
+	var chunks []*expr.Batch
+	var table map[expr.Value][]expr.Row
+	buildRows := 0
+	if !parallel {
+		table = make(map[expr.Value][]expr.Row)
 	}
 	for {
 		b, err := j.build.Next(ctx)
@@ -225,15 +262,17 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 		if b == nil {
 			break
 		}
-		for _, row := range b.Rows() {
-			k := row[j.buildKey]
-			if k.IsNull() {
-				// NULL never equals NULL under join semantics (Cmp.Eval
-				// returns false on NULL); keep NULL keys out of the table
-				// so they cannot meet a NULL probe key.
-				continue
+		buildRows += b.Len()
+		if parallel {
+			c := expr.NewBatch(b.Width())
+			c.AppendBatch(b, b.Len())
+			chunks = append(chunks, c)
+		} else {
+			for _, row := range b.Rows() {
+				if k := row[j.buildKey]; !k.IsNull() {
+					table[k] = append(table[k], row)
+				}
 			}
-			j.table[k] = append(j.table[k], row)
 		}
 		n := float64(b.Len())
 		ctx.Charge(cpu.Compute, ctx.Cost.BuildCycles*n)
@@ -243,7 +282,87 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 		return err
 	}
 	ctx.Flush()
+	switch {
+	case parallel && buildRows >= minPartitionBuildRows:
+		j.buildPartitions(chunks)
+	case parallel:
+		// Too small to split: one map, built inline, probed natively.
+		table = make(map[expr.Value][]expr.Row, buildRows)
+		for _, c := range chunks {
+			for _, row := range c.Rows() {
+				if k := row[j.buildKey]; !k.IsNull() {
+					table[k] = append(table[k], row)
+				}
+			}
+		}
+		fallthrough
+	default:
+		j.parts = []map[expr.Value][]expr.Row{table}
+	}
 	return j.probe.Open(ctx)
+}
+
+// buildPartitions constructs the partitioned build tables from the drained
+// build-side batches, one partition per worker.
+func (j *hashJoinOp) buildPartitions(chunks []*expr.Batch) {
+	p := j.workers
+	j.parts = make([]map[expr.Value][]expr.Row, p)
+
+	// Phase 1: materialize rows and bucket each chunk's row indices by
+	// key-hash partition, chunks striped across workers. Each chunk's
+	// columnar copy is dropped as soon as its rows are materialized, so
+	// the copies and the row forms overlap per chunk, not for the whole
+	// build side. NULL-key rows enter no bucket.
+	rows := make([][]expr.Row, len(chunks))
+	buckets := make([][][]int32, len(chunks)) // per chunk, per partition
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < len(chunks); c += p {
+				rs := chunks[c].Rows()
+				chunks[c] = nil
+				bk := make([][]int32, p)
+				for i, row := range rs {
+					if k := row[j.buildKey]; !k.IsNull() {
+						part := expr.HashValue(k) % uint64(p)
+						bk[part] = append(bk[part], int32(i))
+					}
+				}
+				rows[c], buckets[c] = rs, bk
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: one worker per partition, each walking only its own index
+	// buckets — O(n) insertion work in total, not O(workers·n) — with
+	// chunks in order and indices ascending, so per-key insertion order
+	// is chunk order × row order, identical to the single-table build.
+	for part := 0; part < p; part++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			table := make(map[expr.Value][]expr.Row)
+			for c := range rows {
+				for _, i := range buckets[c][part] {
+					row := rows[c][i]
+					table[row[j.buildKey]] = append(table[row[j.buildKey]], row)
+				}
+			}
+			j.parts[part] = table
+		}(part)
+	}
+	wg.Wait()
+}
+
+// lookup returns the build rows matching k out of its partition.
+func (j *hashJoinOp) lookup(k expr.Value) []expr.Row {
+	if len(j.parts) == 1 {
+		return j.parts[0][k]
+	}
+	return j.parts[expr.HashValue(k)%uint64(len(j.parts))][k]
 }
 
 func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
@@ -262,8 +381,8 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 			if k.IsNull() {
 				continue
 			}
-			hits, ok := j.table[k]
-			if !ok {
+			hits := j.lookup(k)
+			if len(hits) == 0 {
 				continue
 			}
 			j.probeRow = in.Row(li, j.probeRow)
@@ -285,11 +404,17 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 }
 
 func (j *hashJoinOp) Close(ctx *Ctx) error {
-	j.table, j.out = nil, nil
+	j.parts, j.out = nil, nil
 	return j.probe.Close(ctx)
 }
 
-// aggState accumulates one group.
+// aggState accumulates one group. The same accumulator serves both the
+// serial path and the parallel path's morsel-run partials, so the NULL,
+// COUNT, and MIN/MAX tie semantics can never diverge between them: a
+// partial (see newAggPartial) sets needVals to divert SUM/AVG argument
+// values into ordered per-group lists (vals) instead of folding them into
+// sums — float addition is not associative, so only the coordinator may
+// add them, in global row order.
 type aggState struct {
 	groupVals expr.Row
 	sums      []float64
@@ -297,6 +422,8 @@ type aggState struct {
 	mins      []expr.Value
 	maxs      []expr.Value
 	seen      []bool
+	vals      [][]float64 // partials only: ordered values per diverted aggregate
+	needVals  []bool      // nil on the serial/coordinator accumulator
 }
 
 // newAggState returns a zeroed accumulator for nAggs aggregates.
@@ -308,6 +435,130 @@ func newAggState(nAggs int) *aggState {
 		maxs:   make([]expr.Value, nAggs),
 		seen:   make([]bool, nAggs),
 	}
+}
+
+// aggArgVecs allocates the reused argument vectors for a set of aggregate
+// specs: one per spec with an argument expression, nil for bare COUNT(*).
+func aggArgVecs(aggs []plan.AggSpec) []*expr.ColVec {
+	vecs := make([]*expr.ColVec, len(aggs))
+	for i, spec := range aggs {
+		if spec.Arg != nil {
+			vecs[i] = &expr.ColVec{}
+		}
+	}
+	return vecs
+}
+
+// evalAggArgs evaluates every aggregate argument over the batch into its
+// reused vector — batch-wise, charging exactly what per-row Eval charges.
+func evalAggArgs(in *expr.Batch, aggs []plan.AggSpec, argVecs []*expr.ColVec, meter *expr.Cost) {
+	for i, spec := range aggs {
+		if spec.Arg != nil {
+			expr.EvalBatch(spec.Arg, in, argVecs[i], meter)
+		}
+	}
+}
+
+// accumulate folds logical row li's evaluated aggregate arguments into st.
+// Accumulation order across calls must follow global row order: SUM and AVG
+// add floats, and float addition is not associative, so any reordering
+// would change result bits.
+func (st *aggState) accumulate(aggs []plan.AggSpec, argVecs []*expr.ColVec, li int) {
+	for i := range aggs {
+		if aggs[i].Func == plan.Count {
+			// COUNT(expr) counts rows where the argument is non-NULL;
+			// bare COUNT(*) (nil Arg) counts every row.
+			if argVecs[i] != nil && argVecs[i].IsNull(li) {
+				continue
+			}
+			st.counts[i]++
+			continue
+		}
+		v := argVecs[i].Get(li)
+		if v.IsNull() {
+			continue
+		}
+		st.counts[i]++
+		if st.needVals != nil && st.needVals[i] {
+			st.vals[i] = append(st.vals[i], v.AsFloat())
+		} else {
+			st.sums[i] += v.AsFloat()
+		}
+		if !st.seen[i] {
+			st.mins[i], st.maxs[i], st.seen[i] = v, v, true
+		} else {
+			if expr.Compare(v, st.mins[i]) < 0 {
+				st.mins[i] = v
+			}
+			if expr.Compare(v, st.maxs[i]) > 0 {
+				st.maxs[i] = v
+			}
+		}
+	}
+}
+
+// sortedGroupKeys returns the group table's keys in ascending encoded-byte
+// order — the single deterministic emission order shared by the serial and
+// parallel aggregation paths, so output order is a pure function of the
+// group set (never of map iteration, input order, or worker count).
+func sortedGroupKeys(groups map[string]*aggState) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// buildAggRows materializes one output row per group, in the order keys
+// dictates.
+func buildAggRows(groups map[string]*aggState, keys []string, groupBy []int, aggs []plan.AggSpec) []expr.Row {
+	results := make([]expr.Row, 0, len(keys))
+	for _, key := range keys {
+		st := groups[key]
+		out := make(expr.Row, 0, len(groupBy)+len(aggs))
+		out = append(out, st.groupVals...)
+		for i, spec := range aggs {
+			switch spec.Func {
+			case plan.Sum:
+				// SUM over zero non-NULL inputs is NULL, not 0.
+				if st.counts[i] == 0 {
+					out = append(out, expr.Null())
+					continue
+				}
+				out = append(out, expr.Float(st.sums[i]))
+			case plan.Count:
+				out = append(out, expr.Int(st.counts[i]))
+			case plan.Min:
+				out = append(out, minOrNull(st.seen[i], st.mins[i]))
+			case plan.Max:
+				out = append(out, minOrNull(st.seen[i], st.maxs[i]))
+			case plan.Avg:
+				if st.counts[i] == 0 {
+					out = append(out, expr.Null())
+				} else {
+					out = append(out, expr.Float(st.sums[i]/float64(st.counts[i])))
+				}
+			default:
+				panic(fmt.Sprintf("exec: unknown aggregate %v", spec.Func))
+			}
+		}
+		results = append(results, out)
+	}
+	return results
+}
+
+// finishAggGroups applies the global-aggregate guarantee (one output row
+// even with no input), fixes the deterministic emission order, and
+// materializes the result rows — the shared tail of the serial and
+// parallel aggregation paths.
+func finishAggGroups(groups map[string]*aggState, groupBy []int, aggs []plan.AggSpec) []expr.Row {
+	if len(groupBy) == 0 && len(groups) == 0 {
+		// A global aggregate always yields one row: COUNT is 0 and the
+		// value aggregates are NULL when no input rows arrived.
+		groups[""] = newAggState(len(aggs))
+	}
+	return buildAggRows(groups, sortedGroupKeys(groups), groupBy, aggs)
 }
 
 // aggOp is a hash aggregation over single- or multi-column groups. It
@@ -344,15 +595,17 @@ func (a *aggOp) Next(ctx *Ctx) (*expr.Batch, error) {
 }
 
 // consume drains the input, grouping rows and folding aggregates, then
-// materializes one output row per group in first-seen order. Tuples are
-// gathered from the columnar input into one reused scratch row: grouping
-// keys and aggregate arguments evaluate row-at-a-time by nature.
+// materializes one output row per group in sorted group-key order. The
+// batch is consumed straight from its column payloads: group keys are
+// encoded column-wise by expr.GroupKeys and aggregate arguments evaluate
+// batch-wise into reused vectors, so no scratch row is ever gathered —
+// the per-tuple work left is one hash-table probe and the accumulator
+// folds.
 func (a *aggOp) consume(ctx *Ctx) error {
 	groups := make(map[string]*aggState)
-	order := make([]string, 0, 16) // deterministic emission order (first seen)
 	var meter expr.Cost
-	var keyBuf []byte
-	var scratch expr.Row
+	var keys expr.GroupKeys
+	argVecs := aggArgVecs(a.aggs)
 
 	for {
 		in, err := a.input.Next(ctx)
@@ -365,97 +618,28 @@ func (a *aggOp) consume(ctx *Ctx) error {
 		n := float64(in.Len())
 		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles*n)
 		ctx.Charge(cpu.MemStall, ctx.Cost.AggStallCycles*n)
+		keys.Build(in, a.groupBy)
+		evalAggArgs(in, a.aggs, argVecs, &meter)
 		for li, nr := 0, in.Len(); li < nr; li++ {
-			scratch = in.Row(li, scratch)
-			row := scratch
-			keyBuf = keyBuf[:0]
-			for _, g := range a.groupBy {
-				keyBuf = expr.AppendGroupKey(keyBuf, row[g])
-			}
 			// The map-index conversion lets the compiler elide the key
 			// copy on lookup hits; the string is materialized only for
 			// first-seen groups.
-			st, ok := groups[string(keyBuf)]
+			st, ok := groups[string(keys.Key(li))]
 			if !ok {
-				key := string(keyBuf)
+				key := string(keys.Key(li))
 				st = newAggState(len(a.aggs))
 				st.groupVals = make(expr.Row, len(a.groupBy))
 				for i, g := range a.groupBy {
-					st.groupVals[i] = row[g]
+					st.groupVals[i] = in.Cols[g].Get(in.RowIdx(li))
 				}
 				groups[key] = st
-				order = append(order, key)
 			}
-			for i, spec := range a.aggs {
-				if spec.Func == plan.Count {
-					// COUNT(expr) counts rows where the argument is
-					// non-NULL; bare COUNT(*) (nil Arg) counts every row.
-					if spec.Arg != nil && spec.Arg.Eval(row, &meter).IsNull() {
-						continue
-					}
-					st.counts[i]++
-					continue
-				}
-				v := spec.Arg.Eval(row, &meter)
-				if v.IsNull() {
-					continue
-				}
-				st.counts[i]++
-				st.sums[i] += v.AsFloat()
-				if !st.seen[i] {
-					st.mins[i], st.maxs[i], st.seen[i] = v, v, true
-				} else {
-					if expr.Compare(v, st.mins[i]) < 0 {
-						st.mins[i] = v
-					}
-					if expr.Compare(v, st.maxs[i]) > 0 {
-						st.maxs[i] = v
-					}
-				}
-			}
+			st.accumulate(a.aggs, argVecs, li)
 		}
 		ctx.ChargeExpr(&meter)
 	}
 
-	if len(a.groupBy) == 0 && len(order) == 0 {
-		// A global aggregate always yields one row: COUNT is 0 and the
-		// value aggregates are NULL when no input rows arrived.
-		groups[""] = newAggState(len(a.aggs))
-		order = append(order, "")
-	}
-
-	a.results = make([]expr.Row, 0, len(order))
-	for _, key := range order {
-		st := groups[key]
-		out := make(expr.Row, 0, len(a.groupBy)+len(a.aggs))
-		out = append(out, st.groupVals...)
-		for i, spec := range a.aggs {
-			switch spec.Func {
-			case plan.Sum:
-				// SUM over zero non-NULL inputs is NULL, not 0.
-				if st.counts[i] == 0 {
-					out = append(out, expr.Null())
-					continue
-				}
-				out = append(out, expr.Float(st.sums[i]))
-			case plan.Count:
-				out = append(out, expr.Int(st.counts[i]))
-			case plan.Min:
-				out = append(out, minOrNull(st.seen[i], st.mins[i]))
-			case plan.Max:
-				out = append(out, minOrNull(st.seen[i], st.maxs[i]))
-			case plan.Avg:
-				if st.counts[i] == 0 {
-					out = append(out, expr.Null())
-				} else {
-					out = append(out, expr.Float(st.sums[i]/float64(st.counts[i])))
-				}
-			default:
-				panic(fmt.Sprintf("exec: unknown aggregate %v", spec.Func))
-			}
-		}
-		a.results = append(a.results, out)
-	}
+	a.results = finishAggGroups(groups, a.groupBy, a.aggs)
 	ctx.Charge(cpu.Compute, ctx.Cost.AggCycles*float64(len(a.results)))
 	ctx.Flush()
 	return nil

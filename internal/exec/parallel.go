@@ -59,8 +59,17 @@ func compile(n plan.Node, workers int, leaf ScanLeaf) Operator {
 			build: compile(n.Build, workers, leaf), probe: compile(n.Probe, workers, leaf),
 			buildKey: n.BuildKey, probeKey: n.ProbeKey,
 			residual: n.Residual, schema: n.Schema(),
+			workers: workers,
 		}
 	case *plan.Agg:
+		if leaf == nil && workers > 1 {
+			if f, ok := planFragment(n.Input); ok {
+				// The aggregation boundary joins the fragment: workers
+				// pre-aggregate their morsels instead of serializing every
+				// surviving row through a downstream aggOp.
+				return newParallelAgg(f, n, workers)
+			}
+		}
 		return &aggOp{input: compile(n.Input, workers, leaf), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
 	case *plan.Sort:
 		return &sortOp{input: compile(n.Input, workers, leaf), keys: n.Keys}
@@ -189,27 +198,45 @@ func (f *fragment) run(idx int, page *storage.Page) *morselResult {
 	return res
 }
 
-// morselExec is the morsel-driven parallel leaf operator: a dispatcher
-// that fans a table's pages across worker goroutines and a coordinator
-// (Next) that merges finished morsels in deterministic page order.
-type morselExec struct {
-	frag    *fragment
+// morselItem is one page's worth of finished worker output, keyed by page
+// index so the coordinator can merge items in deterministic page order.
+// morselExec produces plain morselResults; parallelAggOp wraps them with a
+// per-morsel partial aggregation table.
+type morselItem interface {
+	pageIndex() int
+}
+
+func (r *morselResult) pageIndex() int { return r.idx }
+
+// morselPump is the dispatcher half shared by all morsel-driven parallel
+// operators: it fans a heap's pages across worker goroutines — each
+// calling the work function on one page, in worker context, with no access
+// to shared executor state — and hands the finished items back to the
+// coordinator in ascending page order. Only the coordinator then touches
+// the simulated machine, so simulated accounting stays independent of
+// goroutine interleaving and worker count.
+type morselPump struct {
 	workers int
+	// work processes one claimed run of adjacent pages, calling emit once
+	// per page with that page's finished item, in page order. emit reports
+	// false when the pump is stopping and the worker must abandon the run.
+	// Run granularity lets operators keep per-run worker state (the
+	// parallel agg's partial tables) while the coordinator still merges
+	// per-page items.
+	work func(run storage.MorselRun, src *storage.MorselSource, emit func(morselItem) bool)
 
 	src     *storage.MorselSource
-	results chan *morselResult
+	results chan morselItem
 	tickets chan struct{} // claim window: bounds runs in flight + reordered
 	stop    chan struct{}
 	wg      sync.WaitGroup
-	pending map[int]*morselResult // finished out-of-order morsels by index
+	pending map[int]morselItem // finished out-of-order morsels by index
 	nextIdx int
 	total   int
 }
 
-func (m *morselExec) Schema() *catalog.Schema { return m.frag.schema }
-
-// Open starts the worker pool. Handout is run-granular (NUMA-style
-// affinity: a worker keeps claiming adjacent pages, see
+// open starts the worker pool over heap. Handout is run-granular
+// (NUMA-style affinity: a worker keeps claiming adjacent pages, see
 // storage.MorselSource): a worker must hold a ticket to claim a run and
 // the coordinator refunds one when a run's last page merges, so the runs
 // that are in flight or waiting to be merged never exceed the window — a
@@ -218,82 +245,81 @@ func (m *morselExec) Schema() *catalog.Schema { return m.frag.schema }
 // capacity is window·runLength morsels, so a held ticket guarantees no
 // send of any page in the claimed run ever blocks and the pool can always
 // drain on its own.
-func (m *morselExec) Open(*Ctx) error {
-	heap := m.frag.table.Heap
-	m.src = storage.NewMorselSource(heap)
-	m.total = m.src.NumMorsels()
-	m.nextIdx = 0
-	if m.total <= 1 {
-		// Nothing to overlap: Next runs the fragment inline, sparing
+func (p *morselPump) open(heap *storage.Heap) {
+	p.src = storage.NewMorselSource(heap)
+	p.total = p.src.NumMorsels()
+	p.nextIdx = 0
+	if p.total <= 1 {
+		// Nothing to overlap: next runs the work inline, sparing
 		// tiny-table scans (TPC-H region, nation) the pool setup.
-		return nil
+		return
 	}
-	pool := m.workers
-	if pool > m.total {
-		pool = m.total
+	pool := p.workers
+	if pool > p.total {
+		pool = p.total
 	}
-	m.pending = make(map[int]*morselResult, pool)
-	m.stop = make(chan struct{})
+	p.pending = make(map[int]morselItem, pool)
+	p.stop = make(chan struct{})
 	window := 4 * pool
-	m.results = make(chan *morselResult, window*m.src.RunLength())
-	m.tickets = make(chan struct{}, window)
+	p.results = make(chan morselItem, window*p.src.RunLength())
+	p.tickets = make(chan struct{}, window)
 	for i := 0; i < window; i++ {
-		m.tickets <- struct{}{}
+		p.tickets <- struct{}{}
 	}
 	for w := 0; w < pool; w++ {
-		m.wg.Add(1)
-		go m.worker()
+		p.wg.Add(1)
+		go p.worker()
 	}
-	return nil
 }
 
-func (m *morselExec) worker() {
-	defer m.wg.Done()
+func (p *morselPump) worker() {
+	defer p.wg.Done()
+	emit := func(it morselItem) bool {
+		select {
+		case <-p.stop:
+			return false
+		default:
+		}
+		p.results <- it // never blocks: ticket held
+		return true
+	}
 	for {
 		select {
-		case <-m.tickets:
-		case <-m.stop:
+		case <-p.tickets:
+		case <-p.stop:
 			return
 		}
-		run, ok := m.src.NextRun()
+		run, ok := p.src.NextRun()
 		if !ok {
 			return
 		}
-		for idx := run.Start; idx < run.End; idx++ {
-			select {
-			case <-m.stop:
-				return
-			default:
-			}
-			m.results <- m.frag.run(idx, m.src.Page(idx)) // never blocks: ticket held
-		}
+		p.work(run, p.src, emit)
 	}
 }
 
-// Next merges worker results in page order, replaying each page's
-// simulated accounting exactly as the serial scan pipeline produces it:
-// flush the previous page's cost window, touch the buffer pool, fire the
-// page hook, charge scan work, then drain the stage meters in pipeline
-// order.
-func (m *morselExec) Next(ctx *Ctx) (*expr.Batch, error) {
-	for m.nextIdx < m.total {
-		var res *morselResult
-		if m.results == nil {
-			// Inline path: the heap was too small to fan out.
-			res = m.frag.run(m.nextIdx, m.frag.table.Heap.Page(m.nextIdx))
-		} else if r, ok := m.pending[m.nextIdx]; ok {
-			delete(m.pending, m.nextIdx)
+// next returns the next page's finished item in ascending page order, or
+// nil once the heap is exhausted.
+func (p *morselPump) next() morselItem {
+	for p.nextIdx < p.total {
+		var res morselItem
+		if p.results == nil {
+			// Inline path: the heap was too small to fan out, so the
+			// single page runs as a one-page run right here.
+			p.work(storage.MorselRun{Start: p.nextIdx, End: p.nextIdx + 1}, p.src,
+				func(it morselItem) bool { res = it; return true })
+		} else if r, ok := p.pending[p.nextIdx]; ok {
+			delete(p.pending, p.nextIdx)
 			res = r
 		} else {
-			r := <-m.results
-			m.pending[r.idx] = r
+			r := <-p.results
+			p.pending[r.pageIndex()] = r
 			continue
 		}
-		m.nextIdx++
-		if m.tickets != nil && (m.nextIdx%m.src.RunLength() == 0 || m.nextIdx == m.total) {
+		p.nextIdx++
+		if p.tickets != nil && (p.nextIdx%p.src.RunLength() == 0 || p.nextIdx == p.total) {
 			// Refund the claim ticket only now that the run's last morsel
 			// is being merged: results that were merely buffered out of
-			// order in m.pending still count against the window, so a
+			// order in p.pending still count against the window, so a
 			// straggler on the next-to-merge page cannot let the rest of
 			// the pool race ahead and buffer the whole table. The send
 			// cannot block — refunds never exceed claims — and cannot
@@ -301,31 +327,89 @@ func (m *morselExec) Next(ctx *Ctx) (*expr.Batch, error) {
 			// needs no further tickets to finish its whole run, so the
 			// next-to-merge page's result always arrives even when
 			// tickets are scarce.
-			m.tickets <- struct{}{}
+			p.tickets <- struct{}{}
 		}
-		if b := m.merge(ctx, res); b != nil {
-			return b, nil
-		}
+		return res
 	}
-	// End of heap: flush the final page's window, as the serial scan does
-	// when it discovers the heap is exhausted.
-	ctx.Flush()
-	return nil, nil
+	return nil
 }
 
-// merge replays one page's simulated accounting and returns its batch, or
-// nil for an empty post-filter page (charged and skipped, like the serial
-// scanOp's read-until-non-empty loop).
-func (m *morselExec) merge(ctx *Ctx, res *morselResult) *expr.Batch {
+// close stops the workers and waits for them to exit. It is idempotent.
+func (p *morselPump) close() {
+	if p.stop != nil {
+		close(p.stop)
+		p.wg.Wait()
+	}
+	p.src, p.results, p.tickets, p.stop, p.pending = nil, nil, nil, nil, nil
+}
+
+// replayMorselPage replays one finished morsel's simulated page accounting
+// exactly as the serial scan pipeline produces it: flush the previous
+// page's cost window, touch the buffer pool, fire the page hook, charge
+// scan work, then drain the stage meters in pipeline order.
+func replayMorselPage(ctx *Ctx, table string, res *morselResult) {
 	ctx.Flush() // close the previous page's pipeline-wide cost window
 	if ctx.Pool != nil {
-		ctx.Pool.Access(storage.PageID{Table: m.frag.table.Name, Index: res.idx}, res.pageBytes)
+		ctx.Pool.Access(storage.PageID{Table: table, Index: res.idx}, res.pageBytes)
 	}
 	ctx.chargePageStream(res.pageBytes)
 	ctx.chargePageTuples(res.pageRows)
 	for i := range res.meters {
 		ctx.ChargeExpr(&res.meters[i])
 	}
+}
+
+// morselExec is the morsel-driven parallel leaf operator: a morselPump
+// fanning a table's pages across worker goroutines running the fragment,
+// and a coordinator (Next) that merges finished morsels in deterministic
+// page order.
+type morselExec struct {
+	frag    *fragment
+	workers int
+
+	pump morselPump
+}
+
+func (m *morselExec) Schema() *catalog.Schema { return m.frag.schema }
+
+// Open starts the worker pool.
+func (m *morselExec) Open(*Ctx) error {
+	m.pump = morselPump{
+		workers: m.workers,
+		work: func(run storage.MorselRun, src *storage.MorselSource, emit func(morselItem) bool) {
+			for idx := run.Start; idx < run.End; idx++ {
+				if !emit(m.frag.run(idx, src.Page(idx))) {
+					return
+				}
+			}
+		},
+	}
+	m.pump.open(m.frag.table.Heap)
+	return nil
+}
+
+// Next merges worker results in page order, replaying each page's
+// simulated accounting in the serial pipeline's sequence.
+func (m *morselExec) Next(ctx *Ctx) (*expr.Batch, error) {
+	for {
+		it := m.pump.next()
+		if it == nil {
+			// End of heap: flush the final page's window, as the serial
+			// scan does when it discovers the heap is exhausted.
+			ctx.Flush()
+			return nil, nil
+		}
+		if b := m.merge(ctx, it.(*morselResult)); b != nil {
+			return b, nil
+		}
+	}
+}
+
+// merge replays one page's simulated accounting and returns its batch, or
+// nil for an empty post-filter page (charged and skipped, like the serial
+// scanOp's read-until-non-empty loop).
+func (m *morselExec) merge(ctx *Ctx, res *morselResult) *expr.Batch {
+	replayMorselPage(ctx, m.frag.table.Name, res)
 	if res.batch.Len() > 0 {
 		return &res.batch
 	}
@@ -334,10 +418,6 @@ func (m *morselExec) merge(ctx *Ctx, res *morselResult) *expr.Batch {
 
 // Close stops the workers and waits for them to exit. It is idempotent.
 func (m *morselExec) Close(*Ctx) error {
-	if m.stop != nil {
-		close(m.stop)
-		m.wg.Wait()
-	}
-	m.src, m.results, m.tickets, m.stop, m.pending = nil, nil, nil, nil, nil
+	m.pump.close()
 	return nil
 }

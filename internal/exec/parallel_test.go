@@ -3,6 +3,7 @@ package exec
 import (
 	"testing"
 
+	"ecodb/internal/catalog"
 	"ecodb/internal/energy"
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
@@ -87,15 +88,74 @@ func assertOutcomesIdentical(t *testing.T, want, got outcome, label string) {
 	}
 }
 
+// groupedTable builds a table exercising the grouped-aggregation edge
+// cases: a string group column with periodic NULL keys, an int key, and a
+// float measure with periodic NULLs and enough irregular values that any
+// reordering of SUM's float additions would change result bits.
+func groupedTable(t *testing.T, name string, n int) *catalog.Table {
+	t.Helper()
+	tb := catalog.NewTable(name, catalog.NewSchema(
+		catalog.Column{Name: "g", Kind: expr.KindString},
+		catalog.Column{Name: "k", Kind: expr.KindInt},
+		catalog.Column{Name: "x", Kind: expr.KindFloat},
+	))
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i := 0; i < n; i++ {
+		g := expr.String(names[i%len(names)])
+		if i%11 == 0 {
+			g = expr.Null()
+		}
+		x := expr.Float(float64(i)*0.37 - float64(i%13)/7)
+		if i%7 == 0 {
+			x = expr.Null()
+		}
+		tb.Insert(expr.Row{g, expr.Int(int64(i)), x})
+	}
+	return tb
+}
+
+// allNullKeyTable builds a table whose group column is NULL on every row.
+func allNullKeyTable(t *testing.T, name string, n int) *catalog.Table {
+	t.Helper()
+	tb := catalog.NewTable(name, catalog.NewSchema(
+		catalog.Column{Name: "g", Kind: expr.KindString},
+		catalog.Column{Name: "x", Kind: expr.KindFloat},
+	))
+	for i := 0; i < n; i++ {
+		tb.Insert(expr.Row{expr.Null(), expr.Float(float64(i) * 1.25)})
+	}
+	return tb
+}
+
+// fullAggSpecs is every aggregate function over the measure column at
+// position x, plus both COUNT forms.
+func fullAggSpecs(x expr.Expr) []plan.AggSpec {
+	return []plan.AggSpec{
+		{Func: plan.Sum, Arg: x, Name: "s"},
+		{Func: plan.Count, Name: "c_star"},
+		{Func: plan.Count, Arg: x, Name: "c_x"},
+		{Func: plan.Min, Arg: x, Name: "mn"},
+		{Func: plan.Max, Arg: x, Name: "mx"},
+		{Func: plan.Avg, Arg: x, Name: "av"},
+	}
+}
+
 // parallelPlans is the matrix of plan shapes the morsel executor must
 // reproduce bit-identically: bare and filtered scans (fast-path and
 // interpreted predicates), filter→project chains folded into the
-// fragment, and parallel leaves under agg, join, sort and limit.
+// fragment, parallel pre-aggregation (grouped, global, empty-input,
+// all-NULL-key), and partitioned-build joins under parallel leaves.
 func parallelPlans(t *testing.T) map[string]plan.Node {
 	t.Helper()
 	tb := numbersTable(t, "t", 5000)
-	other := numbersTable(t, "o", 1200)
+	// Above minPartitionBuildRows: "join-of-parallel-scans" exercises the
+	// radix-partitioned build, while the grouped-table join below stays
+	// under the threshold and covers the small-build single-map fallback.
+	other := numbersTable(t, "o", 10000)
+	gt := groupedTable(t, "g", 4000)
+	nk := allNullKeyTable(t, "nk", 900)
 	k, v := tb.Schema.Col("k"), tb.Schema.Col("v")
+	gk, gx := gt.Schema.Col("k"), gt.Schema.Col("x")
 	interp := expr.And{Terms: []expr.Expr{
 		expr.Cmp{Op: expr.GE, L: k, R: expr.Const{V: expr.Int(100)}},
 		expr.Cmp{Op: expr.LT, L: v, R: expr.Const{V: expr.Int(40000)}},
@@ -111,21 +171,58 @@ func parallelPlans(t *testing.T) map[string]plan.Node {
 			plan.NewScan(tb, expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(2000)}}),
 			nil,
 			[]plan.AggSpec{{Func: plan.Sum, Arg: v, Name: "s"}, {Func: plan.Count, Name: "c"}}),
+		"group-agg-over-fragment": plan.NewAgg(
+			plan.NewScan(gt, expr.Cmp{Op: expr.LT, L: gk, R: expr.Const{V: expr.Int(3700)}}),
+			[]int{gt.Schema.MustIndex("g")},
+			fullAggSpecs(gx)),
+		"group-agg-over-projected-fragment": plan.NewAgg(
+			plan.NewProject(
+				plan.NewFilter(plan.NewScan(gt, nil),
+					expr.Cmp{Op: expr.GE, L: gk, R: expr.Const{V: expr.Int(250)}}),
+				[]expr.Expr{gt.Schema.Col("g"), expr.Arith{Op: expr.Mul, L: gx, R: expr.Const{V: expr.Float(1.01)}}},
+				[]string{"g", "x2"}, []expr.Kind{expr.KindString, expr.KindFloat}),
+			[]int{0},
+			[]plan.AggSpec{
+				{Func: plan.Sum, Arg: expr.Col{Idx: 1}, Name: "s"},
+				{Func: plan.Avg, Arg: expr.Col{Idx: 1}, Name: "av"},
+			}),
+		"group-agg-empty-input": plan.NewAgg(
+			plan.NewScan(gt, expr.Cmp{Op: expr.LT, L: gk, R: expr.Const{V: expr.Int(-1)}}),
+			[]int{gt.Schema.MustIndex("g")},
+			fullAggSpecs(gx)),
+		"agg-all-null-keys": plan.NewAgg(
+			plan.NewScan(nk, nil),
+			[]int{nk.Schema.MustIndex("g")},
+			fullAggSpecs(nk.Schema.Col("x"))),
 		"join-of-parallel-scans": plan.NewHashJoin(
 			plan.NewScan(other, nil),
 			plan.NewScan(tb, expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(600)}}),
 			other.Schema.MustIndex("k"), tb.Schema.MustIndex("k"), nil),
+		"join-dup-and-null-keys-residual": withResidual(plan.NewHashJoin(
+			plan.NewScan(gt, nil), // g repeats per group and is NULL every 11th row
+			plan.NewScan(gt, expr.Cmp{Op: expr.LT, L: gk, R: expr.Const{V: expr.Int(300)}}),
+			gt.Schema.MustIndex("g"), gt.Schema.MustIndex("g"), nil),
+			expr.Cmp{Op: expr.LT, L: expr.Col{Idx: 1}, R: expr.Col{Idx: 4}}),
 		"sort-limit": plan.NewLimit(
 			plan.NewSort(plan.NewScan(tb, nil), plan.SortKey{Col: 0, Desc: true}), 37),
 	}
 }
 
+// withResidual attaches a residual predicate built against the join's
+// concatenated schema.
+func withResidual(j *plan.HashJoin, residual expr.Expr) *plan.HashJoin {
+	j.Residual = residual
+	return j
+}
+
 func TestParallelMatchesSerialBitIdentically(t *testing.T) {
+	// Shapes whose serial run legitimately produces no rows.
+	emptyOK := map[string]bool{"group-agg-empty-input": true}
 	for name, p := range parallelPlans(t) {
 		for _, withPool := range []bool{false, true} {
 			serial := runWorkers(t, p, 1, withPool)
-			if len(serial.rows) == 0 && name != "agg-over-parallel-scan" {
-				// every non-agg shape must produce rows for the test to bite
+			if len(serial.rows) == 0 && !emptyOK[name] {
+				// every other shape must produce rows for the test to bite
 				t.Fatalf("%s: serial run produced no rows", name)
 			}
 			for _, w := range []int{2, 3, 4, 8} {
@@ -138,10 +235,54 @@ func TestParallelMatchesSerialBitIdentically(t *testing.T) {
 
 func TestParallelRepeatedRunsBitIdentical(t *testing.T) {
 	plans := parallelPlans(t)
-	p := plans["filter-project-chain"]
-	first := runWorkers(t, p, 4, true)
-	for i := 0; i < 3; i++ {
-		assertOutcomesIdentical(t, first, runWorkers(t, p, 4, true), "repeat")
+	for _, name := range []string{"filter-project-chain", "group-agg-over-fragment"} {
+		p := plans[name]
+		first := runWorkers(t, p, 4, true)
+		for i := 0; i < 3; i++ {
+			assertOutcomesIdentical(t, first, runWorkers(t, p, 4, true), name+"-repeat")
+		}
+	}
+}
+
+func TestParallelAggEarlyCloseStopsWorkers(t *testing.T) {
+	ctx, _ := testCtx()
+	gt := groupedTable(t, "g", 20000)
+	p := plan.NewAgg(plan.NewScan(gt, nil), []int{0},
+		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
+	op := CompileParallel(p, 4)
+	if _, ok := op.(*parallelAggOp); !ok {
+		t.Fatalf("compiled to %T, want parallel agg", op)
+	}
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon before the first Next: Close must stop the worker pool
+	// without deadlocking, and be idempotent.
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelAggEmptyHeap(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 0)
+	p := plan.NewAgg(plan.NewScan(tb, nil), []int{0},
+		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
+	rows := collect(t, CompileParallel(p, 4), ctx)
+	if len(rows) != 0 {
+		t.Fatalf("grouped agg over empty heap produced %d rows", len(rows))
+	}
+
+	// A global aggregate over an empty heap still yields its one row.
+	ctx2, _ := testCtx()
+	g := plan.NewAgg(plan.NewScan(tb, nil), nil,
+		[]plan.AggSpec{{Func: plan.Count, Name: "c"}, {Func: plan.Sum, Arg: tb.Schema.Col("v"), Name: "s"}})
+	rows = collect(t, CompileParallel(g, 4), ctx2)
+	if len(rows) != 1 || rows[0][0].I != 0 || !rows[0][1].IsNull() {
+		t.Fatalf("global agg over empty heap = %v, want one (0, NULL) row", rows)
 	}
 }
 
@@ -159,14 +300,29 @@ func TestCompileParallelFoldsFragments(t *testing.T) {
 	if _, ok := CompileParallel(chain, 1).(*morselExec); ok {
 		t.Fatal("workers=1 must fall back to the serial operators")
 	}
-	// An agg root is not a fragment; its input chain still folds.
+	// An agg over a fragment absorbs it: workers pre-aggregate morsels.
 	agg := plan.NewAgg(chain, nil, []plan.AggSpec{{Func: plan.Count, Name: "c"}})
-	root, ok := CompileParallel(agg, 4).(*aggOp)
-	if !ok {
-		t.Fatalf("agg root compiled to %T", CompileParallel(agg, 4))
+	if _, ok := CompileParallel(agg, 4).(*parallelAggOp); !ok {
+		t.Fatalf("agg over fragment compiled to %T, want parallel agg", CompileParallel(agg, 4))
 	}
-	if _, ok := root.input.(*morselExec); !ok {
-		t.Fatalf("agg input compiled to %T, want morsel fragment", root.input)
+	if _, ok := CompileParallel(agg, 1).(*aggOp); !ok {
+		t.Fatalf("workers=1 agg compiled to %T, want the serial operator", CompileParallel(agg, 1))
+	}
+
+	// An agg over a non-fragment input stays serial; the chain below the
+	// blocking input still folds into a morsel leaf.
+	overLimit := plan.NewAgg(plan.NewLimit(chain, 5), nil,
+		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
+	root, ok := CompileParallel(overLimit, 4).(*aggOp)
+	if !ok {
+		t.Fatalf("agg over limit compiled to %T", CompileParallel(overLimit, 4))
+	}
+	lim, ok := root.input.(*limitOp)
+	if !ok {
+		t.Fatalf("agg input compiled to %T, want limit", root.input)
+	}
+	if _, ok := lim.input.(*morselExec); !ok {
+		t.Fatalf("limit input compiled to %T, want morsel fragment", lim.input)
 	}
 }
 

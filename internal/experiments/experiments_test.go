@@ -448,3 +448,28 @@ func TestColumnarAblationChargingNeutral(t *testing.T) {
 		t.Fatal("control report should name the mode")
 	}
 }
+
+func TestParallelAggAblationChargingNeutral(t *testing.T) {
+	cfg := shorten(lightCommercial(), 0.01)
+	r := ParallelAgg(cfg, true)
+	if len(r.Points) != len(ParallelAggWorkloadSizes) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// The load-bearing property: worker count must not move a single
+		// simulated joule or second. Wall-clock speedup is host-dependent
+		// (single-core runners see none), so it is reported, not asserted.
+		if !p.SimulatedJoulesIdentical {
+			t.Errorf("N=%d: serial %v vs parallel %v J/query — workers leaked into charging", p.N, p.SerialPerQuery, p.ParPerQuery)
+		}
+		if !p.SimulatedDurationIdentical {
+			t.Errorf("N=%d: serial %v vs parallel %v simulated time — workers leaked into charging", p.N, p.SerialTime, p.ParTime)
+		}
+	}
+	if !strings.Contains(r.String(), "parallel pre-aggregation") {
+		t.Fatal("report should name the mode")
+	}
+	if !strings.Contains(ParallelAgg(cfg, false).String(), "control arm") {
+		t.Fatal("control report should name the mode")
+	}
+}

@@ -31,3 +31,219 @@ func AppendGroupKey(dst []byte, v Value) []byte {
 	}
 	return dst
 }
+
+// fixedKeyWidth is the encoded width of every non-string group-key value:
+// one kind tag plus the 8-byte payload (NULL is tag-only, width 1).
+const fixedKeyWidth = 1 + 8
+
+// GroupKeys builds the injective group-key encodings of a whole batch
+// column-wise — the vectorized mirror of calling AppendGroupKey per row.
+// Instead of gathering a scratch row per tuple and walking its values, each
+// group-by column is encoded in one pass over its contiguous typed payload,
+// writing every row's fragment at a precomputed offset. The per-row byte
+// strings are identical to the row-at-a-time encoding, so map keys built
+// either way collide exactly the same.
+//
+// The builder owns its buffers and is reusable: Build overwrites the
+// previous batch's keys.
+type GroupKeys struct {
+	buf  []byte
+	offs []int32 // len n+1: key i is buf[offs[i]:offs[i+1]]
+	cur  []int32 // per-row write cursors during Build
+}
+
+// Len returns the number of keys built.
+func (g *GroupKeys) Len() int {
+	if len(g.offs) == 0 {
+		return 0
+	}
+	return len(g.offs) - 1
+}
+
+// Key returns row li's encoded group key. It aliases the builder's buffer
+// and is valid until the next Build.
+func (g *GroupKeys) Key(li int) []byte { return g.buf[g.offs[li]:g.offs[li+1]] }
+
+// Build encodes the group keys of every logical row of b over the columns
+// at positions cols. Pass one sizes each row's key (column-wise over the
+// payloads); pass two writes each column's fragments at the running per-row
+// cursor, again column-wise.
+func (g *GroupKeys) Build(b *Batch, cols []int) {
+	n := b.Len()
+	g.offs = append(g.offs[:0], 0)
+	g.cur = g.cur[:0]
+	if n == 0 {
+		return
+	}
+
+	// Pass 1: per-row encoded sizes, accumulated in cur.
+	for i := 0; i < n; i++ {
+		g.cur = append(g.cur, 0)
+	}
+	for _, c := range cols {
+		vec := &b.Cols[c]
+		switch {
+		case vec.Any != nil || vec.Kind == KindString || vec.Kind == KindNull:
+			// Variable width (strings), per-element kinds (Any), or
+			// tag-only NULL columns: size element by element.
+			for li := 0; li < n; li++ {
+				g.cur[li] += int32(keyWidth(vec, b.RowIdx(li)))
+			}
+		case vec.HasNulls():
+			for li := 0; li < n; li++ {
+				if vec.Nulls[b.RowIdx(li)] {
+					g.cur[li]++
+				} else {
+					g.cur[li] += fixedKeyWidth
+				}
+			}
+		default:
+			for li := 0; li < n; li++ {
+				g.cur[li] += fixedKeyWidth
+			}
+		}
+	}
+	total := int32(0)
+	for li := 0; li < n; li++ {
+		total += g.cur[li]
+		g.offs = append(g.offs, total)
+	}
+	if cap(g.buf) < int(total) {
+		g.buf = make([]byte, total)
+	}
+	g.buf = g.buf[:total]
+
+	// Pass 2: write each column's fragment at the per-row cursor.
+	copy(g.cur, g.offs[:n])
+	for _, c := range cols {
+		vec := &b.Cols[c]
+		dense := b.Sel == nil && vec.Any == nil && !vec.HasNulls()
+		switch {
+		case dense && (vec.Kind == KindBool || vec.Kind == KindInt || vec.Kind == KindDate):
+			for li, v := range vec.I[:n] {
+				at := g.cur[li]
+				g.buf[at] = byte(vec.Kind)
+				binary.LittleEndian.PutUint64(g.buf[at+1:], uint64(v))
+				g.cur[li] = at + fixedKeyWidth
+			}
+		case dense && vec.Kind == KindFloat:
+			for li, v := range vec.F[:n] {
+				at := g.cur[li]
+				g.buf[at] = byte(KindFloat)
+				binary.LittleEndian.PutUint64(g.buf[at+1:], math.Float64bits(v))
+				g.cur[li] = at + fixedKeyWidth
+			}
+		case dense && vec.Kind == KindString:
+			for li, s := range vec.S[:n] {
+				g.cur[li] += int32(putKeyString(g.buf[g.cur[li]:], s))
+			}
+		default:
+			for li := 0; li < n; li++ {
+				g.cur[li] += int32(putKeyValue(g.buf[g.cur[li]:], vec.Get(b.RowIdx(li))))
+			}
+		}
+	}
+}
+
+// keyWidth returns the encoded width of element i of vec — exactly the
+// number of bytes putKeyValue writes for vec.Get(i).
+func keyWidth(vec *ColVec, i int) int {
+	if vec.IsNull(i) {
+		return 1
+	}
+	k := vec.Kind
+	if vec.Any != nil {
+		k = vec.Any[i].Kind
+	}
+	switch k {
+	case KindNull:
+		return 1
+	case KindString:
+		if vec.Any != nil {
+			return fixedKeyWidth + len(vec.Any[i].S)
+		}
+		return fixedKeyWidth + len(vec.S[i])
+	default:
+		return fixedKeyWidth
+	}
+}
+
+// putKeyString writes the string encoding (tag, length, bytes) into dst and
+// returns the width written.
+func putKeyString(dst []byte, s string) int {
+	dst[0] = byte(KindString)
+	binary.LittleEndian.PutUint64(dst[1:], uint64(len(s)))
+	return fixedKeyWidth + copy(dst[fixedKeyWidth:], s)
+}
+
+// FNV-1a constants for HashValue.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashValue returns a 64-bit hash of v consistent with Go's == on Value —
+// the equality the executor's hash tables key on — so values that are equal
+// map keys always hash identically. It drives radix partitioning of
+// parallel hash-join builds: a key's partition must be a pure function of
+// the key. The hash is FNV-1a over the bytes of the injective group-key
+// encoding, folded into the state directly (no intermediate buffer — this
+// runs once per probe row on partitioned joins), with negative zero
+// normalized first (-0.0 == 0.0 under ==, but their float bits differ).
+func HashValue(v Value) uint64 {
+	h := fnvByte(fnvOffset64, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindBool, KindInt, KindDate:
+		h = fnvUint64(h, uint64(v.I))
+	case KindFloat:
+		f := v.F
+		if f == 0 {
+			f = 0 // collapse -0.0 onto +0.0
+		}
+		h = fnvUint64(h, math.Float64bits(f))
+	case KindString:
+		h = fnvUint64(h, uint64(len(v.S)))
+		for i := 0; i < len(v.S); i++ {
+			h = fnvByte(h, v.S[i])
+		}
+	default:
+		panic(fmt.Sprintf("expr: cannot hash %v", v.Kind))
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// fnvUint64 folds an 8-byte little-endian payload into the FNV state, byte
+// for byte as AppendGroupKey would have written it.
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// putKeyValue writes one value's encoding into dst and returns the width —
+// the in-place form of AppendGroupKey for the generic Build path.
+func putKeyValue(dst []byte, v Value) int {
+	switch v.Kind {
+	case KindNull:
+		dst[0] = byte(KindNull)
+		return 1
+	case KindBool, KindInt, KindDate:
+		dst[0] = byte(v.Kind)
+		binary.LittleEndian.PutUint64(dst[1:], uint64(v.I))
+		return fixedKeyWidth
+	case KindFloat:
+		dst[0] = byte(KindFloat)
+		binary.LittleEndian.PutUint64(dst[1:], math.Float64bits(v.F))
+		return fixedKeyWidth
+	case KindString:
+		return putKeyString(dst, v.S)
+	default:
+		panic(fmt.Sprintf("expr: cannot encode %v as a group key", v.Kind))
+	}
+}

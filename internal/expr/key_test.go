@@ -58,3 +58,138 @@ func TestGroupKeyInjectiveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// keyBatch builds a batch from row-major tuples for GroupKeys tests.
+func keyBatch(rows []Row) *Batch {
+	if len(rows) == 0 {
+		return NewBatch(0)
+	}
+	b := NewBatch(len(rows[0]))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}
+
+// assertKeysMatchRowPath requires the column-wise builder to reproduce the
+// row-at-a-time AppendGroupKey encoding byte for byte on every logical row.
+func assertKeysMatchRowPath(t *testing.T, b *Batch, cols []int) {
+	t.Helper()
+	var g GroupKeys
+	g.Build(b, cols)
+	if g.Len() != b.Len() {
+		t.Fatalf("built %d keys for %d logical rows", g.Len(), b.Len())
+	}
+	var scratch Row
+	var want []byte
+	for li := 0; li < b.Len(); li++ {
+		scratch = b.Row(li, scratch)
+		want = want[:0]
+		for _, c := range cols {
+			want = AppendGroupKey(want, scratch[c])
+		}
+		if got := g.Key(li); string(got) != string(want) {
+			t.Fatalf("row %d: batch key %x != row key %x", li, got, want)
+		}
+	}
+}
+
+func TestGroupKeysBatchMatchesRowEncoding(t *testing.T) {
+	dense := keyBatch([]Row{
+		{Int(1), String("a"), Float(1.5), Date(42)},
+		{Int(1), String(""), Float(-0.0), Date(0)},
+		{Int(-9), String("x\x00y"), Float(2.5), Date(-3)},
+		{Int(1 << 40), String("long-ish string value"), Float(0), Date(7)},
+	})
+	assertKeysMatchRowPath(t, dense, []int{0, 1, 2, 3})
+	assertKeysMatchRowPath(t, dense, []int{1})
+	assertKeysMatchRowPath(t, dense, []int{3, 0})
+
+	// Selection vectors: keys follow logical rows, not physical ones.
+	sel := keyBatch([]Row{
+		{Int(10), String("a")}, {Int(11), String("b")},
+		{Int(12), String("c")}, {Int(13), String("d")},
+	})
+	sel.Sel = []int32{1, 3}
+	assertKeysMatchRowPath(t, sel, []int{0, 1})
+
+	// NULLs in fixed-width and string columns.
+	nulls := keyBatch([]Row{
+		{Int(1), Null(), String("s")},
+		{Null(), Float(2), Null()},
+		{Int(3), Null(), String("")},
+	})
+	assertKeysMatchRowPath(t, nulls, []int{0, 1, 2})
+
+	// Heterogeneous columns degrade to the Any representation.
+	mixed := keyBatch([]Row{
+		{Int(1)}, {String("1")}, {Float(1)}, {Null()}, {Bool(true)},
+	})
+	assertKeysMatchRowPath(t, mixed, []int{0})
+
+	// All-NULL column (vector kind stays KindNull).
+	allNull := keyBatch([]Row{{Null(), Int(1)}, {Null(), Int(2)}})
+	assertKeysMatchRowPath(t, allNull, []int{0, 1})
+
+	// Empty batch and empty column list.
+	assertKeysMatchRowPath(t, keyBatch(nil), nil)
+	assertKeysMatchRowPath(t, dense, nil)
+}
+
+func TestGroupKeysBuilderIsReusable(t *testing.T) {
+	var g GroupKeys
+	b1 := keyBatch([]Row{{String("first-long-key")}, {String("second")}})
+	g.Build(b1, []int{0})
+	k0 := string(g.Key(0))
+	b2 := keyBatch([]Row{{Int(5)}})
+	g.Build(b2, []int{0})
+	if g.Len() != 1 {
+		t.Fatalf("rebuild kept %d keys, want 1", g.Len())
+	}
+	if string(g.Key(0)) == k0 {
+		t.Fatal("rebuild returned the previous batch's key")
+	}
+	if want := string(AppendGroupKey(nil, Int(5))); string(g.Key(0)) != want {
+		t.Fatalf("rebuilt key %x, want %x", g.Key(0), want)
+	}
+}
+
+func TestHashValueConsistentWithMapEquality(t *testing.T) {
+	// Values that are equal Go map keys must hash identically; -0.0 and
+	// +0.0 are the one bitwise-distinct equal pair.
+	if HashValue(Float(0)) != HashValue(Float(negZero())) {
+		t.Fatal("-0.0 and +0.0 are equal map keys but hashed differently")
+	}
+	// Distinct kinds with the same payload should (and here do) separate.
+	pairs := [][2]Value{
+		{Int(1), Float(1)},
+		{Int(1), String("1")},
+		{Int(0), Null()},
+		{Bool(true), Int(1)},
+		{Date(5), Int(5)},
+	}
+	for _, p := range pairs {
+		if HashValue(p[0]) == HashValue(p[1]) {
+			t.Fatalf("distinct map keys %v and %v collide", p[0], p[1])
+		}
+	}
+	// The fold-in-place hash must equal FNV-1a over the materialized
+	// group-key encoding — the definition it inlines.
+	for _, v := range []Value{
+		Null(), Bool(true), Int(-7), Int(1 << 40), Float(2.5),
+		Date(9000), String(""), String("x\x00y"), String("a longer string"),
+	} {
+		h := uint64(14695981039346656037)
+		for _, b := range AppendGroupKey(nil, v) {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		if got := HashValue(v); got != h {
+			t.Fatalf("HashValue(%v) = %x, want FNV over encoding %x", v, got, h)
+		}
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}

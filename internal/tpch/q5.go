@@ -203,3 +203,49 @@ func QuantityBandWorkload(cat *catalog.Catalog, n int) []plan.Node {
 	}
 	return out
 }
+
+// RevenueByQuantityQuery builds the Q1-shaped pricing-summary aggregation:
+// revenue per l_quantity value over a quantity-bounded slice of lineitem,
+//
+//	SELECT l_quantity, SUM(l_extendedprice * (1 - l_discount)),
+//	       AVG(l_extendedprice * (1 - l_discount)), COUNT(*)
+//	FROM lineitem WHERE l_quantity < :maxQty GROUP BY l_quantity
+//
+// — the aggregation-dominated analytical shape whose Agg sits directly on
+// a scan→filter fragment, so the parallel pre-aggregation path applies.
+func RevenueByQuantityQuery(cat *catalog.Catalog, maxQty int64) plan.Node {
+	t := cat.MustTable(Lineitem)
+	price := t.Schema.Col("l_extendedprice")
+	disc := t.Schema.Col("l_discount")
+	revenue := expr.Arith{
+		Op: expr.Mul,
+		L:  price,
+		R:  expr.Arith{Op: expr.Sub, L: expr.Const{V: expr.Float(1)}, R: disc},
+	}
+	scan := plan.NewScan(t, expr.Cmp{
+		Op: expr.LT,
+		L:  t.Schema.Col("l_quantity"),
+		R:  expr.Const{V: expr.Int(maxQty)},
+	})
+	return plan.NewAgg(scan,
+		[]int{t.Schema.MustIndex("l_quantity")},
+		[]plan.AggSpec{
+			{Func: plan.Sum, Arg: revenue, Name: "revenue"},
+			{Func: plan.Avg, Arg: revenue, Name: "avg_revenue"},
+			{Func: plan.Count, Name: "n"},
+		})
+}
+
+// RevenueAggWorkload builds n aggregation queries with distinct quantity
+// bounds (n ≤ 40 keeps every query selective below l_quantity's 1..50
+// domain while leaving real per-query work).
+func RevenueAggWorkload(cat *catalog.Catalog, n int) []plan.Node {
+	if n < 1 || n > 40 {
+		panic(fmt.Sprintf("tpch: revenue agg workload size %d outside [1,40]", n))
+	}
+	out := make([]plan.Node, n)
+	for i := range out {
+		out[i] = RevenueByQuantityQuery(cat, int64(50-i))
+	}
+	return out
+}
