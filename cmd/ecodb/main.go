@@ -33,6 +33,8 @@ var (
 	flagShared   = flag.Bool("shared-scan", true, "serve non-mergeable QED batches from one shared heap pass (sharedscan experiment; false = control arm)")
 	flagColumnar = flag.Bool("columnar", true, "run the treated arm of the columnar experiment through the columnar fast paths (false = control arm: both arms row-at-a-time)")
 	flagParallel = flag.Bool("parallel-agg", true, "run the treated arm of the parallelagg experiment with worker goroutines (false = control arm: both arms serial)")
+	flagZoneMaps = flag.Bool("zone-maps", true, "enable zone-map page pruning in the compression experiment's treated arm")
+	flagDict     = flag.Bool("dict-strings", true, "enable dictionary-encoded string columns in the compression experiment's treated arm")
 )
 
 func main() {
@@ -73,6 +75,8 @@ experiments:
   sharedscan ablation: QED shared-scan flush vs sequential (see -shared-scan)
   columnar  ablation: row-at-a-time vs columnar execution wall-clock (see -columnar)
   parallelagg ablation: serial vs morsel-parallel aggregation wall-clock (see -parallel-agg)
+  compression ablation: plain vs compressed columnar storage — zone-map
+            pruning + dictionary strings (see -zone-maps, -dict-strings)
   all       every paper experiment (table1..fig6, warmcold)
 
 flags:
@@ -128,8 +132,10 @@ func runOne(name string) error {
 		out = experiments.ColumnarScan(override(experiments.DefaultCommercialConfig()), *flagColumnar)
 	case "parallelagg":
 		out = experiments.ParallelAgg(override(experiments.DefaultCommercialConfig()), *flagParallel)
+	case "compression":
+		out = experiments.Compression(override(experiments.DefaultCommercialConfig()), *flagZoneMaps, *flagDict)
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar parallelagg all; flags go before the experiment name)", name)
+		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar parallelagg compression all; flags go before the experiment name)", name)
 	}
 	fmt.Println(out)
 	fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

@@ -20,6 +20,7 @@ import (
 
 	"ecodb/internal/core"
 	"ecodb/internal/engine"
+	"ecodb/internal/exec"
 	"ecodb/internal/experiments"
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
@@ -167,6 +168,44 @@ func TestGoldenFig1(t *testing.T) {
 		fmtMeasurement(&b, m.Setting.String(), m)
 	}
 	checkGolden(t, "fig1", b.String())
+}
+
+// TestGoldenCompression pins the compressed-storage path byte for byte:
+// the mixed range-plus-string workload run with zone-map pruning and
+// dictionary strings ENABLED — result rows of one pruned range query, every
+// query's cardinality and simulated timings, total joules, and the pages
+// pruned. Together with the four legacy goldens (which run with the toggles
+// off) this pins both sides of the compression switch.
+func TestGoldenCompression(t *testing.T) {
+	defer expr.SetZoneMapPruning(expr.ZoneMapPruning())
+	defer expr.SetDictStrings(expr.DictStrings())
+	expr.SetZoneMapPruning(true)
+	expr.SetDictStrings(true)
+
+	prof := engine.ProfileCommercial()
+	prof.WorkAmplification = 50
+	sys := core.NewSystem(prof)
+	tpch.NewGenerator(0.02, 42).Load(sys.Engine.Catalog(),
+		tpch.Customer, tpch.Orders, tpch.Lineitem)
+	sys.Engine.WarmAll()
+
+	var b strings.Builder
+	res, stats := sys.Engine.Exec(tpch.OrderkeyBandQuery(sys.Engine.Catalog(), 101, 4))
+	fmt.Fprintf(&b, "band rows (%d, %d bytes, duration=%s):\n",
+		stats.RowsOut, stats.BytesOut, fexact(float64(stats.Duration)))
+	fmtRows(&b, res.Rows)
+
+	exec.ResetPrunedPages()
+	queries := workload.NewQueries("comp", tpch.CompressionWorkload(sys.Engine.Catalog(), 0.02, 8))
+	clock := sys.Machine.Clock
+	trace := sys.Machine.CPU.Trace()
+	t0 := clock.Now()
+	run := workload.RunSequential(sys.Engine, clock, queries)
+	fmt.Fprintf(&b, "energy=%s pruned=%d\n",
+		fexact(float64(trace.Energy(t0, clock.Now()))), exec.PrunedPages())
+	fmtRunResult(&b, "compressed", run)
+
+	checkGolden(t, "compression", b.String())
 }
 
 // TestGoldenSharedScan pins the shared-scan ablation: sequential versus

@@ -98,6 +98,8 @@ func ProfileCommercial() Profile {
 
 			SortCmpCycles: 36,
 
+			ZoneCheckCycles: 60,
+
 			ResultRowCycles:   420,
 			ResultKBCycles:    520,
 			ClientRowCycles:   380,
@@ -135,6 +137,8 @@ func ProfileMySQLMemory() Profile {
 			AggStallCycles: 50,
 
 			SortCmpCycles: 30,
+
+			ZoneCheckCycles: 45,
 
 			ResultRowCycles:        520,
 			ResultKBCycles:         480,

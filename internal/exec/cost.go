@@ -35,6 +35,14 @@ type CostModel struct {
 	// Sort.
 	SortCmpCycles float64 // compute, per comparison (n·log₂n of them)
 
+	// Zone maps: the cost of consulting a page's min/max entries against
+	// the pushed-down predicate, charged per examined page whenever a scan
+	// runs with pruning active. A pruned page costs exactly this — no
+	// buffer-pool access, no disk read, no stream or tuple work — which is
+	// what turns page skipping into a simulated-joules win, not just a
+	// wall-clock one.
+	ZoneCheckCycles float64 // compute, per examined page when pruning
+
 	// Result path: server-side materialization/wire cost (bandwidth-bound
 	// Stream work) and client-side receive cost. The client (a JDBC
 	// application in the paper, running on the SUT) builds an object per
@@ -133,6 +141,14 @@ func (c *Ctx) chargePageStream(bytes int64) {
 		c.PageHook()
 	}
 	c.Charge(cpu.Stream, c.Cost.PageStreamCyclesPerKB*float64(bytes)/1024)
+}
+
+// chargeZoneCheck charges the zone-map consult for one examined page.
+// Scans with pruning active charge it for every page they look at —
+// pruned or read — so enabling pruning on an unprunable workload costs a
+// little, exactly like a real engine's min/max check.
+func (c *Ctx) chargeZoneCheck() {
+	c.Charge(cpu.Compute, c.Cost.ZoneCheckCycles)
 }
 
 // chargePageTuples charges the per-consumer interpretation of one page's

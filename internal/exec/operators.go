@@ -71,17 +71,28 @@ func Compile(n plan.Node) Operator { return CompileParallel(n, 1) }
 type scanOp struct {
 	table  *catalog.Table
 	filter expr.Expr
+	// prune, when non-nil, is the conjunction of filter and downstream
+	// filter predicates pushed down for the zone-map skip decision only
+	// (compileFused sets it); filtering itself is unchanged. When nil the
+	// scan prunes on filter alone.
+	prune expr.Expr
 
-	scan  *storage.PageScan
-	view  expr.Batch // current page view; Sel points into sel
-	sel   []int32
-	meter expr.Cost
+	scan   *storage.PageScan
+	pruner expr.Expr  // active prune predicate for this execution, or nil
+	view   expr.Batch // current page view; Sel points into sel
+	sel    []int32
+	meter  expr.Cost
 }
 
 func (s *scanOp) Schema() *catalog.Schema { return s.table.Schema }
 
 func (s *scanOp) Open(ctx *Ctx) error {
 	s.scan = storage.NewPageScan(s.table.Heap, s.table.Name, ctx.Pool)
+	p := s.prune
+	if p == nil {
+		p = s.filter
+	}
+	s.pruner = prunePredicate(p)
 	return nil
 }
 
@@ -98,6 +109,16 @@ func (s *scanOp) Open(ctx *Ctx) error {
 func (s *scanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 	for {
 		ctx.Flush() // close the previous page's pipeline-wide cost window
+		if s.pruner != nil {
+			if zones, ok := s.scan.PeekZones(); ok {
+				ctx.chargeZoneCheck()
+				if len(zones) > 0 && expr.ZonePrunes(s.pruner, zones) {
+					s.scan.Skip()
+					prunedPages.Add(1)
+					continue
+				}
+			}
+		}
 		bytes, nRows, ok := s.scan.ReadInto(&s.view)
 		if !ok {
 			return nil, nil
@@ -117,7 +138,7 @@ func (s *scanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 }
 
 func (s *scanOp) Close(*Ctx) error {
-	s.scan, s.sel = nil, nil
+	s.scan, s.sel, s.pruner = nil, nil, nil
 	s.view = expr.Batch{}
 	return nil
 }
@@ -215,6 +236,7 @@ type hashJoinOp struct {
 	out      *expr.Batch
 	probeRow expr.Row
 	catRow   expr.Row
+	hashBuf  []uint64 // reused per-batch probe-key hashes (partitioned probes)
 	meter    expr.Cost
 }
 
@@ -357,14 +379,6 @@ func (j *hashJoinOp) buildPartitions(chunks []*expr.Batch) {
 	wg.Wait()
 }
 
-// lookup returns the build rows matching k out of its partition.
-func (j *hashJoinOp) lookup(k expr.Value) []expr.Row {
-	if len(j.parts) == 1 {
-		return j.parts[0][k]
-	}
-	return j.parts[expr.HashValue(k)%uint64(len(j.parts))][k]
-}
-
 func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 	for {
 		in, err := j.probe.Next(ctx)
@@ -376,12 +390,26 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 		j.out.Reset()
 		matches := 0
 		kvec := &in.Cols[j.probeKey]
+		// Partitioned probes hash the whole batch's keys up front in one
+		// vectorized pass over the key column's payload (expr.HashVec)
+		// instead of one HashValue interpreter call per row; hashes — and
+		// therefore partition choices and results — are bit-identical.
+		var hashes []uint64
+		if len(j.parts) > 1 {
+			j.hashBuf = expr.HashVec(kvec, in.Sel, j.hashBuf[:0])
+			hashes = j.hashBuf
+		}
 		for li, n := 0, in.Len(); li < n; li++ {
 			k := kvec.Get(in.RowIdx(li))
 			if k.IsNull() {
 				continue
 			}
-			hits := j.lookup(k)
+			var hits []expr.Row
+			if hashes != nil {
+				hits = j.parts[hashes[li]%uint64(len(j.parts))][k]
+			} else {
+				hits = j.parts[0][k]
+			}
 			if len(hits) == 0 {
 				continue
 			}

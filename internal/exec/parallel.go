@@ -106,7 +106,25 @@ walk:
 	for i, st := range topDown {
 		stages[len(stages)-1-i] = st
 	}
-	return &fusedOp{input: compile(cur, workers, leaf), stages: stages, schema: schema}
+	input := compile(cur, workers, leaf)
+	if sc, ok := input.(*scanOp); ok {
+		// Push the chain's leading filter predicates (every stage before
+		// the first projection — they still reference the scan schema) down
+		// to the scan's prune decision. Filtering itself stays where it is;
+		// only the page-skip test sees the extra conjuncts.
+		var terms []expr.Expr
+		if sc.filter != nil {
+			terms = append(terms, sc.filter)
+		}
+		for _, st := range stages {
+			if st.pred == nil {
+				break
+			}
+			terms = append(terms, st.pred)
+		}
+		sc.prune = conjoinPrune(terms)
+	}
+	return &fusedOp{input: input, stages: stages, schema: schema}
 }
 
 // fragStage is one worker-side stage of a fragment: a filter predicate or
@@ -124,6 +142,27 @@ type fragment struct {
 	scanFilter expr.Expr
 	stages     []fragStage
 	schema     *catalog.Schema
+	// pruner is the active zone-map prune predicate for this execution —
+	// the scan filter conjoined with the leading filter stages — set by
+	// initPrune at operator Open, nil when pruning is off or unusable.
+	pruner expr.Expr
+}
+
+// initPrune resolves the fragment's prune predicate against the global
+// pruning toggle. Called at operator Open so the toggle is read at the
+// same point scanOp reads it.
+func (f *fragment) initPrune() {
+	var terms []expr.Expr
+	if f.scanFilter != nil {
+		terms = append(terms, f.scanFilter)
+	}
+	for _, st := range f.stages {
+		if st.pred == nil {
+			break
+		}
+		terms = append(terms, st.pred)
+	}
+	f.pruner = prunePredicate(conjoinPrune(terms))
 }
 
 // planFragment recognizes plan subtrees that are pure scan→filter→project
@@ -161,6 +200,7 @@ func planFragment(n plan.Node) (*fragment, bool) {
 // for bit.
 type morselResult struct {
 	idx       int
+	pruned    bool // page skipped by zone maps: replay charges the check only
 	pageBytes int64
 	pageRows  int
 	meters    []expr.Cost // scan-filter meter first, then one per stage
@@ -173,6 +213,11 @@ type morselResult struct {
 // filters narrow its selection vector, projections replace it with fresh
 // vectors owned by the result.
 func (f *fragment) run(idx int, page *storage.Page) *morselResult {
+	if f.pruner != nil && len(page.Zones) > 0 && expr.ZonePrunes(f.pruner, page.Zones) {
+		// Worker context decides the skip (pure zone-map reads); the
+		// coordinator charges the zone check when it merges the item.
+		return &morselResult{idx: idx, pruned: true}
+	}
 	res := &morselResult{
 		idx: idx, pageBytes: page.Bytes, pageRows: page.NumRows(),
 		meters: make([]expr.Cost, 1+len(f.stages)),
@@ -345,10 +390,20 @@ func (p *morselPump) close() {
 
 // replayMorselPage replays one finished morsel's simulated page accounting
 // exactly as the serial scan pipeline produces it: flush the previous
-// page's cost window, touch the buffer pool, fire the page hook, charge
-// scan work, then drain the stage meters in pipeline order.
-func replayMorselPage(ctx *Ctx, table string, res *morselResult) {
+// page's cost window, charge the zone check when pruning is active, then —
+// for read pages — touch the buffer pool, fire the page hook, charge scan
+// work, and drain the stage meters in pipeline order. A pruned page's
+// window holds the zone check alone, exactly as serial scanOp's skip step
+// flushes it.
+func replayMorselPage(ctx *Ctx, table string, res *morselResult, pruning bool) {
 	ctx.Flush() // close the previous page's pipeline-wide cost window
+	if pruning {
+		ctx.chargeZoneCheck()
+	}
+	if res.pruned {
+		prunedPages.Add(1)
+		return
+	}
 	if ctx.Pool != nil {
 		ctx.Pool.Access(storage.PageID{Table: table, Index: res.idx}, res.pageBytes)
 	}
@@ -374,6 +429,7 @@ func (m *morselExec) Schema() *catalog.Schema { return m.frag.schema }
 
 // Open starts the worker pool.
 func (m *morselExec) Open(*Ctx) error {
+	m.frag.initPrune()
 	m.pump = morselPump{
 		workers: m.workers,
 		work: func(run storage.MorselRun, src *storage.MorselSource, emit func(morselItem) bool) {
@@ -409,7 +465,7 @@ func (m *morselExec) Next(ctx *Ctx) (*expr.Batch, error) {
 // nil for an empty post-filter page (charged and skipped, like the serial
 // scanOp's read-until-non-empty loop).
 func (m *morselExec) merge(ctx *Ctx, res *morselResult) *expr.Batch {
-	replayMorselPage(ctx, m.frag.table.Name, res)
+	replayMorselPage(ctx, m.frag.table.Name, res, m.frag.pruner != nil)
 	if res.batch.Len() > 0 {
 		return &res.batch
 	}

@@ -100,6 +100,7 @@ func newParallelAgg(f *fragment, n *plan.Agg, workers int) *parallelAggOp {
 func (a *parallelAggOp) Schema() *catalog.Schema { return a.schema }
 
 func (a *parallelAggOp) Open(*Ctx) error {
+	a.frag.initPrune()
 	a.groups = make(map[string]*aggState)
 	a.results, a.pos, a.started = nil, 0, false
 	a.out = *expr.NewBatch(a.schema.NumCols())
@@ -195,7 +196,7 @@ func (a *parallelAggOp) consume(ctx *Ctx) {
 // floating-point accumulation happens in global row order — the serial
 // path's exact addition sequence.
 func (a *parallelAggOp) mergeMorsel(ctx *Ctx, r *morselAggResult) {
-	replayMorselPage(ctx, a.frag.table.Name, r.res)
+	replayMorselPage(ctx, a.frag.table.Name, r.res, a.frag.pruner != nil)
 	if r.n > 0 {
 		n := float64(r.n)
 		ctx.Charge(cpu.Compute, ctx.Cost.AggCycles*n)

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"ecodb/internal/expr"
+)
+
+// Scan-time zone-map pruning, shared by the three access paths (private
+// scanOp, morsel fragments, shared-scan consumers).
+//
+// Pruning is a pure skip decision: the predicate a page is checked against
+// is only ever used to prove "no row here can pass", never to drop the
+// actual filtering work, so results are bit-identical with pruning on or
+// off. What changes is the charge stream — a pruned page costs one
+// ZoneCheckCycles constant instead of a buffer-pool access, a disk read,
+// page streaming, and per-tuple interpretation.
+
+// prunePredicate decides whether a scan runs with pruning active and
+// returns the predicate pages are checked against: pred when the global
+// toggle is on and pred has a prunable shape, nil otherwise. A nil return
+// means "never check, never charge".
+func prunePredicate(pred expr.Expr) expr.Expr {
+	if pred == nil || !expr.ZoneMapPruning() || !expr.Prunable(pred) {
+		return nil
+	}
+	return pred
+}
+
+// conjoinPrune combines a scan's own filter with downstream filter
+// predicates pushed down for the prune decision only. Terms must all
+// reference the scan's schema (callers stop collecting at the first
+// projection).
+func conjoinPrune(terms []expr.Expr) expr.Expr {
+	switch len(terms) {
+	case 0:
+		return nil
+	case 1:
+		return terms[0]
+	default:
+		return expr.And{Terms: terms}
+	}
+}
+
+// prunedPages counts pages skipped by zone-map pruning across all scans
+// since the last reset — the ablation's "pages pruned" readout. Atomic
+// because morsel coordinators and cooperative shared passes may interleave
+// with callers reading it.
+var prunedPages atomic.Int64
+
+// PrunedPages returns the pages skipped by zone-map pruning since the last
+// ResetPrunedPages.
+func PrunedPages() int64 { return prunedPages.Load() }
+
+// ResetPrunedPages zeroes the pruned-page counter.
+func ResetPrunedPages() { prunedPages.Store(0) }

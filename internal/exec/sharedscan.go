@@ -22,10 +22,11 @@ type sharedScanOp struct {
 	table  *catalog.Table
 	filter expr.Expr
 
-	cons  *scanshare.Consumer
-	view  expr.Batch // current page view; Sel points into sel
-	sel   []int32
-	meter expr.Cost
+	cons    *scanshare.Consumer
+	pruning bool       // zone-map pruning active for this execution
+	view    expr.Batch // current page view; Sel points into sel
+	sel     []int32
+	meter   expr.Cost
 }
 
 // NewSharedScan returns a shared-scan leaf operator over table, attached
@@ -37,6 +38,14 @@ func NewSharedScan(coord *scanshare.Coordinator, table *catalog.Table, filter ex
 func (s *sharedScanOp) Schema() *catalog.Schema { return s.table.Schema }
 
 func (s *sharedScanOp) Open(ctx *Ctx) error {
+	if pruner := prunePredicate(s.filter); pruner != nil {
+		s.pruning = true
+		s.cons = s.coord.AttachPruned(func(zones []expr.Zone) bool {
+			return expr.ZonePrunes(pruner, zones)
+		})
+		return nil
+	}
+	s.pruning = false
 	s.cons = s.coord.Attach()
 	return nil
 }
@@ -44,12 +53,20 @@ func (s *sharedScanOp) Open(ctx *Ctx) error {
 func (s *sharedScanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 	for {
 		ctx.Flush() // close the previous page's pipeline-wide cost window
-		_, page, ok := s.cons.Next(func(_ int, bytes int64) {
+		_, page, pruned, ok := s.cons.Next(func(_ int, bytes int64) {
 			// Shared charges: fired once per pass, on the advancing pull.
 			ctx.chargePageStream(bytes)
 		})
 		if !ok {
 			return nil, nil
+		}
+		if s.pruning {
+			// The zone-map consult runs per examined step, pruned or not.
+			ctx.chargeZoneCheck()
+		}
+		if pruned {
+			prunedPages.Add(1)
+			continue
 		}
 		// Per-consumer charges: every query interprets the tuples itself.
 		ctx.chargePageTuples(page.NumRows())

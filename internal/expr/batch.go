@@ -313,6 +313,9 @@ func filterCmpColConst(op CmpOp, idx int, k Value, in *Batch, sel []int32, cost 
 	}
 	if vec.Kind == KindString {
 		cost.Add(float64(n) * (CyclesColRef + CyclesConst + CyclesStringCmp))
+		if vec.Dict != nil {
+			return selCmpCodes(op, vec.Codes, vec.Dict, k.S, sel)
+		}
 		return selCmpStrings(op, vec.S, k.S, sel)
 	}
 	cost.Add(float64(n) * (CyclesColRef + CyclesConst + CyclesCompare))
@@ -453,6 +456,68 @@ func selCmpStrings(op CmpOp, vals []string, k string, sel []int32) []int32 {
 	return sel
 }
 
+// selCmpCodes is selCmpStrings over a dictionary-encoded payload: the
+// constant maps to a code (equality) or a code bound (ordering — legal
+// because the dictionary is sorted, so code order is string order), and the
+// loop compares int32 codes instead of strings. Selections are identical to
+// selCmpStrings on the decoded values; charging is done by the caller.
+func selCmpCodes(op CmpOp, codes []int32, d *Dict, k string, sel []int32) []int32 {
+	switch op {
+	case EQ:
+		c, ok := d.Code(k)
+		if !ok {
+			return sel
+		}
+		for i, v := range codes {
+			if v == c {
+				sel = append(sel, int32(i))
+			}
+		}
+	case NE:
+		c, ok := d.Code(k)
+		if !ok {
+			for i := range codes {
+				sel = append(sel, int32(i))
+			}
+			return sel
+		}
+		for i, v := range codes {
+			if v != c {
+				sel = append(sel, int32(i))
+			}
+		}
+	case LT:
+		bound := d.LowerBound(k)
+		for i, v := range codes {
+			if v < bound {
+				sel = append(sel, int32(i))
+			}
+		}
+	case LE:
+		bound := d.UpperBound(k)
+		for i, v := range codes {
+			if v < bound {
+				sel = append(sel, int32(i))
+			}
+		}
+	case GT:
+		bound := d.UpperBound(k)
+		for i, v := range codes {
+			if v >= bound {
+				sel = append(sel, int32(i))
+			}
+		}
+	case GE:
+		bound := d.LowerBound(k)
+		for i, v := range codes {
+			if v >= bound {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel
+}
+
 // filterBetweenCol is the vectorized loop for Between{Col}, the TPC-H
 // date-range shape: lo <= v < hi.
 func filterBetweenCol(idx int, lo, hi Value, in *Batch, sel []int32, cost *Cost) []int32 {
@@ -482,6 +547,15 @@ func filterBetweenCol(idx int, lo, hi Value, in *Batch, sel []int32, cost *Cost)
 	}
 	cost.Add(float64(n) * (CyclesColRef + 2*CyclesCompare))
 	if vec.Kind == KindString {
+		if vec.Dict != nil {
+			loc, hic := vec.Dict.LowerBound(lo.S), vec.Dict.LowerBound(hi.S)
+			for i, v := range vec.Codes {
+				if v >= loc && v < hic {
+					sel = append(sel, int32(i))
+				}
+			}
+			return sel
+		}
 		los, his := lo.S, hi.S
 		for i, v := range vec.S {
 			if !(v < los) && v < his {
@@ -514,6 +588,29 @@ func filterInHashCol(idx int, set map[Value]struct{}, in *Batch, sel []int32, co
 	vec := &in.Cols[idx]
 	n := in.Len()
 	cost.Add(float64(n) * (CyclesColRef + CyclesHashProbe))
+	if vec.Dict != nil && in.Sel == nil {
+		// Probe the set once per dictionary word, then test codes against
+		// the resulting bitmap. Membership is Go map equality on canonical
+		// Values, so a NULL set element matches NULL rows.
+		d := vec.Dict
+		keep := make([]bool, d.Len())
+		for c := range keep {
+			_, keep[c] = set[Value{Kind: KindString, S: d.words[c]}]
+		}
+		_, nullIn := set[Value{}]
+		for i, c := range vec.Codes {
+			if vec.Nulls != nil && vec.Nulls[i] {
+				if nullIn {
+					sel = append(sel, int32(i))
+				}
+				continue
+			}
+			if keep[c] {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	}
 	if in.Sel == nil {
 		for i := 0; i < n; i++ {
 			if _, ok := set[vec.Get(i)]; ok {

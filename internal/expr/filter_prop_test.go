@@ -162,6 +162,116 @@ func TestFilterBatchMatchesRowAtATimeExactly(t *testing.T) {
 	}
 }
 
+// TestDictFilterMatchesDenseExactly mirrors every random string batch into
+// a dictionary-encoded copy and requires FilterBatch to agree EXACTLY —
+// selected physical indices and charged cycles — between the two physical
+// representations and the row-at-a-time reference. Predicate constants are
+// drawn independently of the column, so out-of-dictionary words (the
+// code-miss paths of selCmpCodes) occur constantly.
+func TestDictFilterMatchesDenseExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd1c7))
+	encoded := 0
+	for caseNo := 0; caseNo < 2000; caseNo++ {
+		in := randBatch(rng, false)
+		pred := randPred(rng, false)
+
+		// Rebuild the same logical column, then switch it to codes.
+		din := NewBatch(1)
+		for i := 0; i < in.Cols[0].Len(); i++ {
+			din.AppendRow(Row{in.Cols[0].Get(i)})
+		}
+		if in.Sel != nil {
+			din.Sel = append([]int32(nil), in.Sel...)
+		}
+		vec := &din.Cols[0]
+		var words []string
+		for i := 0; i < vec.Len(); i++ {
+			if v := vec.Get(i); v.Kind == KindString {
+				words = append(words, v.S)
+			}
+		}
+		if !vec.EncodeDict(NewDict(words)) {
+			continue // all-NULL column: no string payload to encode
+		}
+		encoded++
+
+		var refCost Cost
+		var want []int32
+		for li, r := range in.Rows() {
+			if pred.Eval(r, &refCost).Truthy() {
+				want = append(want, int32(in.RowIdx(li)))
+			}
+		}
+
+		var denseCost, dictCost Cost
+		dense := FilterBatch(pred, in, nil, &denseCost)
+		dict := FilterBatch(pred, din, nil, &dictCost)
+
+		if len(dense) != len(want) || len(dict) != len(want) {
+			t.Fatalf("case %d (%s): dense selected %d, dict %d, row reference %d",
+				caseNo, pred, len(dense), len(dict), len(want))
+		}
+		for i := range want {
+			if dense[i] != want[i] || dict[i] != want[i] {
+				t.Fatalf("case %d (%s): selection %d differs: dense %d dict %d want %d",
+					caseNo, pred, i, dense[i], dict[i], want[i])
+			}
+		}
+		if denseCost.Cycles != refCost.Cycles || dictCost.Cycles != refCost.Cycles {
+			t.Fatalf("case %d (%s): dense charged %v, dict %v, row reference %v — encoding must be charging-neutral",
+				caseNo, pred, denseCost.Cycles, dictCost.Cycles, refCost.Cycles)
+		}
+	}
+	if encoded < 1500 {
+		t.Fatalf("only %d/2000 cases dictionary-encoded — generator shape drifted", encoded)
+	}
+}
+
+// TestZonePruneSoundness builds each random page's zone maps exactly as
+// Heap.Append does (folding Update over every value) and requires that
+// whenever ZonePrunes claims a predicate holds nowhere on the page, the
+// full filter over the page indeed selects nothing. Covers the NULL-heavy,
+// heterogeneous, and composite AND/OR shapes.
+func TestZonePruneSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x20e5))
+	pruned := 0
+	for caseNo := 0; caseNo < 2000; caseNo++ {
+		numeric := rng.Intn(2) == 0
+		in := randBatch(rng, numeric)
+		var pred Expr = randPred(rng, numeric)
+		switch rng.Intn(4) {
+		case 0:
+			pred = And{Terms: []Expr{pred, randPred(rng, numeric)}}
+		case 1:
+			pred = Or{Terms: []Expr{pred, randPred(rng, numeric)}}
+		}
+		if !Prunable(pred) {
+			t.Fatalf("case %d: generator produced non-prunable predicate %s", caseNo, pred)
+		}
+
+		zones := NewZones(1)
+		vec := &in.Cols[0]
+		for i := 0; i < vec.Len(); i++ {
+			zones[0].Update(vec.Get(i))
+		}
+		if !ZonePrunes(pred, zones) {
+			continue
+		}
+		pruned++
+
+		// Zones summarize the whole page: check against every row.
+		in.Sel = nil
+		var cost Cost
+		if sel := FilterBatch(pred, in, nil, &cost); len(sel) != 0 {
+			t.Fatalf("case %d (%s): zone maps pruned a page on which the filter selects %d rows (min=%v max=%v nulls=%v)",
+				caseNo, pred, len(sel), zones[0].Min, zones[0].Max, zones[0].HasNulls)
+		}
+	}
+	if pruned < 200 {
+		t.Fatalf("only %d/2000 cases pruned — generator no longer exercises ZonePrunes", pruned)
+	}
+}
+
 func TestEvalBatchColFastPathMatchesEval(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xeba1))
 	for caseNo := 0; caseNo < 500; caseNo++ {

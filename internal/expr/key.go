@@ -133,6 +133,10 @@ func (g *GroupKeys) Build(b *Batch, cols []int) {
 				binary.LittleEndian.PutUint64(g.buf[at+1:], math.Float64bits(v))
 				g.cur[li] = at + fixedKeyWidth
 			}
+		case dense && vec.Kind == KindString && vec.Dict != nil:
+			for li, c := range vec.Codes[:n] {
+				g.cur[li] += int32(putKeyString(g.buf[g.cur[li]:], vec.Dict.words[c]))
+			}
 		case dense && vec.Kind == KindString:
 			for li, s := range vec.S[:n] {
 				g.cur[li] += int32(putKeyString(g.buf[g.cur[li]:], s))
@@ -161,6 +165,9 @@ func keyWidth(vec *ColVec, i int) int {
 	case KindString:
 		if vec.Any != nil {
 			return fixedKeyWidth + len(vec.Any[i].S)
+		}
+		if vec.Dict != nil {
+			return fixedKeyWidth + len(vec.Dict.words[vec.Codes[i]])
 		}
 		return fixedKeyWidth + len(vec.S[i])
 	default:
@@ -209,6 +216,84 @@ func HashValue(v Value) uint64 {
 		}
 	default:
 		panic(fmt.Sprintf("expr: cannot hash %v", v.Kind))
+	}
+	return h
+}
+
+// HashVec appends HashValue of every logical element of vec to dst and
+// returns the extended slice — the vectorized mirror of hashing per row,
+// used by the hash-join probe side. With sel nil all elements hash in one
+// typed payload loop (dictionary vectors hash each distinct word once and
+// gather through the codes); with a selection the selected elements hash
+// via Get. Hashes are bit-identical to HashValue either way.
+func HashVec(vec *ColVec, sel []int32, dst []uint64) []uint64 {
+	if sel != nil {
+		for _, i := range sel {
+			dst = append(dst, HashValue(vec.Get(int(i))))
+		}
+		return dst
+	}
+	n := vec.Len()
+	if vec.Any != nil || vec.Kind == KindNull {
+		for i := 0; i < n; i++ {
+			dst = append(dst, HashValue(vec.Get(i)))
+		}
+		return dst
+	}
+	seed := fnvByte(fnvOffset64, byte(vec.Kind))
+	nullHash := fnvByte(fnvOffset64, byte(KindNull))
+	switch vec.Kind {
+	case KindFloat:
+		for i, v := range vec.F[:n] {
+			if vec.Nulls != nil && vec.Nulls[i] {
+				dst = append(dst, nullHash)
+				continue
+			}
+			if v == 0 {
+				v = 0 // collapse -0.0 onto +0.0
+			}
+			dst = append(dst, fnvUint64(seed, math.Float64bits(v)))
+		}
+	case KindString:
+		if vec.Dict != nil {
+			wordHash := make([]uint64, vec.Dict.Len())
+			for c, w := range vec.Dict.words {
+				wordHash[c] = fnvString(seed, w)
+			}
+			for i, c := range vec.Codes[:n] {
+				if vec.Nulls != nil && vec.Nulls[i] {
+					dst = append(dst, nullHash)
+					continue
+				}
+				dst = append(dst, wordHash[c])
+			}
+			return dst
+		}
+		for i, s := range vec.S[:n] {
+			if vec.Nulls != nil && vec.Nulls[i] {
+				dst = append(dst, nullHash)
+				continue
+			}
+			dst = append(dst, fnvString(seed, s))
+		}
+	default: // Bool, Int, Date
+		for i, v := range vec.I[:n] {
+			if vec.Nulls != nil && vec.Nulls[i] {
+				dst = append(dst, nullHash)
+				continue
+			}
+			dst = append(dst, fnvUint64(seed, uint64(v)))
+		}
+	}
+	return dst
+}
+
+// fnvString folds a length-prefixed string into the FNV state, matching
+// HashValue's string branch.
+func fnvString(h uint64, s string) uint64 {
+	h = fnvUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
 	}
 	return h
 }

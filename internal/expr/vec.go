@@ -18,6 +18,11 @@ package expr
 //     kinds (legal for Values, unheard of for real table data), the vector
 //     degrades to a plain []Value and Any becomes authoritative. Fast paths
 //     check for it and fall back to generic evaluation.
+//   - Dict non-nil marks a dictionary-encoded string vector: Kind is
+//     KindString, S is nil, and Codes holds one dictionary code per element
+//     (zero under NULLs; Nulls stays authoritative). Reads are transparent —
+//     Get decodes through the dictionary — and Append materializes back to
+//     dense strings before mutating.
 //
 // Values read out of a vector are canonical: only the payload field implied
 // by the kind is set, exactly as the package constructors build them.
@@ -28,6 +33,8 @@ type ColVec struct {
 	F     []float64
 	S     []string
 	Any   []Value
+	Dict  *Dict
+	Codes []int32
 	n     int
 }
 
@@ -42,6 +49,8 @@ func (v *ColVec) Reset() {
 	v.F = v.F[:0]
 	v.S = v.S[:0]
 	v.Any = nil
+	v.Dict = nil
+	v.Codes = v.Codes[:0]
 	v.n = 0
 }
 
@@ -70,6 +79,9 @@ func (v *ColVec) Get(i int) Value {
 	case KindFloat:
 		return Value{Kind: KindFloat, F: v.F[i]}
 	case KindString:
+		if v.Dict != nil {
+			return Value{Kind: KindString, S: v.Dict.words[v.Codes[i]]}
+		}
 		return Value{Kind: KindString, S: v.S[i]}
 	default:
 		return Value{Kind: v.Kind, I: v.I[i]}
@@ -97,12 +109,16 @@ func (v *ColVec) degrade() {
 	}
 	v.Any = any
 	v.Nulls, v.I, v.F, v.S = nil, nil, nil, nil
+	v.Dict, v.Codes = nil, nil
 }
 
 // Append adds one value, establishing the vector's kind on the first
 // non-NULL element and degrading to the heterogeneous representation if a
 // second kind ever appears.
 func (v *ColVec) Append(val Value) {
+	if v.Dict != nil {
+		v.undict()
+	}
 	if v.Any != nil {
 		v.Any = append(v.Any, val)
 		v.n++
@@ -162,6 +178,8 @@ func (v *ColVec) AppendFrom(src *ColVec, sel []int32) {
 			if src.Any != nil {
 				v.Any = append([]Value(nil), src.Any...)
 			}
+			v.Dict = src.Dict
+			v.Codes = append(v.Codes[:0], src.Codes...)
 			v.n = src.n
 			return
 		}

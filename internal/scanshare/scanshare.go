@@ -37,6 +37,7 @@ package scanshare
 import (
 	"fmt"
 
+	"ecodb/internal/expr"
 	"ecodb/internal/storage"
 )
 
@@ -44,6 +45,12 @@ import (
 // exactly once per page the pass surfaces (not once per consumer), on the
 // pull that advanced the pass. bytes is the page's storage footprint.
 type Surface func(idx int, bytes int64)
+
+// Prune is a consumer's page-skip test: given a page's zone maps it
+// reports whether the consumer's predicate can be satisfied nowhere on the
+// page. It must be pure — the coordinator may evaluate it more than once
+// per page.
+type Prune func(zones []expr.Zone) bool
 
 // PassStats counts the coordinator's sharing traffic.
 type PassStats struct {
@@ -53,6 +60,10 @@ type PassStats struct {
 	// PagesDelivered counts page deliveries across all consumers; the
 	// ratio PagesDelivered/PagesSurfaced is the sharing factor.
 	PagesDelivered int64
+	// PagesPruned is how many pass steps skipped the page entirely because
+	// every consumer that still needed it pruned it by zone maps — no
+	// buffer-pool touch, no surface charge.
+	PagesPruned int64
 	// Attaches counts consumers admitted over the coordinator's lifetime.
 	Attaches int64
 }
@@ -95,9 +106,18 @@ func (c *Coordinator) Stats() PassStats { return c.stats }
 // Attach admits a consumer into the pass at its current position. The
 // consumer will receive every heap page exactly once, starting at the
 // entry page and wrapping, and must be Closed when its query finishes.
-func (c *Coordinator) Attach() *Consumer {
+func (c *Coordinator) Attach() *Consumer { return c.AttachPruned(nil) }
+
+// AttachPruned admits a consumer with a zone-map prune test. Pages the
+// test rejects are delivered as pruned (the consumer counts them toward
+// its lap and charges its zone check, but gets no data); a pass step whose
+// every needy consumer prunes the page skips it physically — no buffer
+// pool, no surface charge. prune nil never prunes, making Attach the
+// degenerate case.
+func (c *Coordinator) AttachPruned(prune Prune) *Consumer {
 	k := &Consumer{
 		coord:     c,
+		prune:     prune,
 		entry:     c.scan.Pos(),
 		remaining: c.heap.NumPages(),
 	}
@@ -106,18 +126,44 @@ func (c *Coordinator) Attach() *Consumer {
 	return k
 }
 
-// advance surfaces one page: the circular scan touches the buffer pool,
-// every attached consumer that still needs pages has the page queued, and
-// the shared-side surface hook fires once.
+// advance steps the pass by one page. When at least one consumer that
+// still needs the page does not prune it, the circular scan surfaces it —
+// buffer pool touched, surface hook fired once — and every needy consumer
+// has it queued (marked pruned for those whose test rejects it, so they
+// skip their per-tuple work). When every needy consumer prunes it, the
+// scan skips the page without reading: the queues advance but no physical
+// or shared charge exists for the page.
 func (c *Coordinator) advance(surface Surface) {
-	idx, page, ok := c.scan.Next()
+	zones, ok := c.scan.PeekZones()
 	if !ok {
 		return // empty heap: nothing to surface, consumers are born done
+	}
+	needed := false
+	for _, k := range c.active {
+		if k.remaining > 0 && !k.prunes(zones) {
+			needed = true
+			break
+		}
+	}
+	if !needed {
+		idx, _ := c.scan.Skip()
+		c.stats.PagesPruned++
+		for _, k := range c.active {
+			if k.remaining > 0 {
+				k.queue = append(k.queue, queuedPage{idx: idx, pruned: true})
+				k.remaining--
+			}
+		}
+		return
+	}
+	idx, page, ok := c.scan.Next()
+	if !ok {
+		return
 	}
 	c.stats.PagesSurfaced++
 	for _, k := range c.active {
 		if k.remaining > 0 {
-			k.queue = append(k.queue, idx)
+			k.queue = append(k.queue, queuedPage{idx: idx, pruned: k.prunes(zones)})
 			k.remaining--
 			c.stats.PagesDelivered++
 		}
@@ -137,43 +183,68 @@ func (c *Coordinator) detach(k *Consumer) {
 	}
 }
 
+// queuedPage is one delivered, unconsumed pass step: the page index and
+// whether this consumer's prune test rejected it.
+type queuedPage struct {
+	idx    int
+	pruned bool
+}
+
 // Consumer is one query's membership in a shared pass.
 type Consumer struct {
 	coord     *Coordinator
+	prune     Prune // nil: never prunes
 	entry     int
-	queue     []int // delivered, unconsumed page indexes, in pass order
-	remaining int   // pages the pass has yet to deliver to this consumer
+	queue     []queuedPage // delivered, unconsumed steps, in pass order
+	remaining int          // pages the pass has yet to deliver to this consumer
 	seen      int64
+	pruned    int64
 	closed    bool
+}
+
+// prunes reports whether the consumer's test rejects a page with the given
+// zone maps.
+func (k *Consumer) prunes(zones []expr.Zone) bool {
+	return k.prune != nil && len(zones) > 0 && k.prune(zones)
 }
 
 // Entry returns the page index at which the consumer joined the pass —
 // the first page it receives.
 func (k *Consumer) Entry() int { return k.entry }
 
-// PagesSeen returns how many pages the consumer has consumed so far.
+// PagesSeen returns how many pass steps the consumer has consumed so far,
+// pruned steps included.
 func (k *Consumer) PagesSeen() int64 { return k.seen }
 
-// Next returns the consumer's next page in pass order. When nothing is
-// buffered it advances the shared pass, firing surface once for the newly
-// surfaced page (see Surface); pages another consumer's pulls already
-// surfaced are served from the buffer with no shared charge. ok is false
-// once the consumer has seen every heap page exactly once — immediately,
-// for an empty heap.
-func (k *Consumer) Next(surface Surface) (idx int, page *storage.Page, ok bool) {
+// PagesPruned returns how many of the consumer's steps were pruned.
+func (k *Consumer) PagesPruned() int64 { return k.pruned }
+
+// Next returns the consumer's next pass step in pass order. When nothing
+// is buffered it advances the shared pass, firing surface once for the
+// newly surfaced page (see Surface); pages another consumer's pulls
+// already surfaced are served from the buffer with no shared charge. A
+// step with pruned true carries no page — the consumer's zone-map test
+// rejected it, so the caller charges its zone check and moves on. ok is
+// false once the consumer has seen every heap page exactly once —
+// immediately, for an empty heap.
+func (k *Consumer) Next(surface Surface) (idx int, page *storage.Page, pruned bool, ok bool) {
 	if k.closed {
 		panic(fmt.Sprintf("scanshare: Next on closed consumer of %q", k.coord.table))
 	}
 	if len(k.queue) == 0 {
 		if k.remaining == 0 {
-			return 0, nil, false
+			return 0, nil, false, false
 		}
 		k.coord.advance(surface)
 	}
-	idx = k.queue[0]
+	q := k.queue[0]
 	k.queue = k.queue[1:]
 	k.seen++
-	return idx, k.coord.heap.Page(idx), true
+	if q.pruned {
+		k.pruned++
+		return q.idx, nil, true, true
+	}
+	return q.idx, k.coord.heap.Page(q.idx), false, true
 }
 
 // Close detaches the consumer from the pass. It is idempotent; a closed

@@ -22,7 +22,7 @@ func heapOf(t *testing.T, rows int) *storage.Heap {
 func drain(k *Consumer, surface Surface) []int {
 	var got []int
 	for {
-		idx, _, ok := k.Next(surface)
+		idx, _, _, ok := k.Next(surface)
 		if !ok {
 			return got
 		}
@@ -79,7 +79,7 @@ func TestSharedPassSurfacesOncePerPage(t *testing.T) {
 	for done < consumers {
 		done = 0
 		for _, k := range ks {
-			if _, _, ok := k.Next(surface); !ok {
+			if _, _, _, ok := k.Next(surface); !ok {
 				done++
 			}
 		}
@@ -120,7 +120,7 @@ func TestAttachOnLastPageSeesEveryPageOnce(t *testing.T) {
 	// Drive an earlier consumer until the pass sits on page n-1.
 	first := c.Attach()
 	for i := 0; i < n-1; i++ {
-		if _, _, ok := first.Next(nil); !ok {
+		if _, _, _, ok := first.Next(nil); !ok {
 			t.Fatalf("first consumer ended after %d pages", i)
 		}
 	}
@@ -158,7 +158,7 @@ func TestEmptyHeapConsumerIsBornDone(t *testing.T) {
 	c := NewCoordinator(storage.NewHeap(0), "empty", nil)
 	k := c.Attach()
 	fired := false
-	if _, _, ok := k.Next(func(int, int64) { fired = true }); ok {
+	if _, _, _, ok := k.Next(func(int, int64) { fired = true }); ok {
 		t.Fatal("empty heap delivered a page")
 	}
 	if fired {

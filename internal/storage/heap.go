@@ -15,12 +15,16 @@ import (
 const DefaultPageBytes = 8 << 10
 
 // Page holds one page's tuples in columnar layout — the on-"disk" unit the
-// executor scans — with a storage footprint estimate. Data's vectors are
-// owned by the page: scans hand out zero-copy views of them, so consumers
-// must never mutate a page's batch.
+// executor scans — with a storage footprint estimate and per-column zone
+// maps. Data's vectors are owned by the page: scans hand out zero-copy
+// views of them, so consumers must never mutate a page's batch.
 type Page struct {
 	Data  expr.Batch
 	Bytes int64
+	// Zones holds one min/max/null-presence entry per column, maintained
+	// incrementally on append. Always present; whether scans consult it is
+	// the executor's choice (expr.ZoneMapPruning).
+	Zones []expr.Zone
 }
 
 // NumRows returns the page's tuple count.
@@ -57,11 +61,17 @@ func (h *Heap) Append(row expr.Row) {
 	rb := row.Bytes()
 	n := len(h.pages)
 	if n == 0 || h.pages[n-1].Bytes+rb > h.pageTarget {
-		h.pages = append(h.pages, &Page{Data: *expr.NewBatch(len(row))})
+		h.pages = append(h.pages, &Page{
+			Data:  *expr.NewBatch(len(row)),
+			Zones: expr.NewZones(len(row)),
+		})
 		n++
 	}
 	p := h.pages[n-1]
 	p.Data.AppendRow(row)
+	for i, v := range row {
+		p.Zones[i].Update(v)
+	}
 	p.Bytes += rb
 	h.rows++
 	h.bytes += rb
@@ -86,3 +96,56 @@ func (h *Heap) Page(i int) *Page {
 
 // PageTarget returns the configured target page size.
 func (h *Heap) PageTarget() int64 { return h.pageTarget }
+
+// CompressStrings dictionary-encodes the heap's string columns in place and
+// returns how many columns were encoded. For each eligible column — plain
+// strings on every page, no heterogeneous vectors — it builds one global
+// sorted dictionary over the column's distinct words and rewrites every
+// page's vector to codes against it. Logical content, page boundaries, and
+// the byte footprint the simulation charges are unchanged: encoding is a
+// physical-layout choice, and results must be bit-identical either way.
+// Call only after loading is complete and before scans start.
+func (h *Heap) CompressStrings() int {
+	if len(h.pages) == 0 {
+		return 0
+	}
+	width := len(h.pages[0].Data.Cols)
+	encoded := 0
+	for c := 0; c < width; c++ {
+		eligible := false
+		seen := make(map[string]struct{})
+		var words []string
+		for _, p := range h.pages {
+			vec := &p.Data.Cols[c]
+			if vec.Any != nil || (vec.Kind != expr.KindString && vec.Kind != expr.KindNull) {
+				eligible = false
+				break
+			}
+			if vec.Kind != expr.KindString {
+				continue // all-NULL page: nothing to encode
+			}
+			eligible = true
+			for i, s := range vec.S {
+				if vec.Nulls != nil && vec.Nulls[i] {
+					continue
+				}
+				if _, ok := seen[s]; !ok {
+					seen[s] = struct{}{}
+					words = append(words, s)
+				}
+			}
+		}
+		if !eligible {
+			continue
+		}
+		dict := expr.NewDict(words)
+		for _, p := range h.pages {
+			vec := &p.Data.Cols[c]
+			if vec.Kind == expr.KindString {
+				vec.EncodeDict(dict)
+			}
+		}
+		encoded++
+	}
+	return encoded
+}

@@ -41,6 +41,25 @@ func (s *PageScan) ReadInto(dst *expr.Batch) (bytes int64, rows int, ok bool) {
 	return page.Bytes, page.NumRows(), true
 }
 
+// PeekZones returns the zone maps of the page the next ReadInto would
+// surface, without advancing and without touching the buffer pool — the
+// pruning check a scan runs before deciding to read or Skip. ok is false
+// when the heap is exhausted.
+func (s *PageScan) PeekZones() (zones []expr.Zone, ok bool) {
+	if s.next >= s.heap.NumPages() {
+		return nil, false
+	}
+	return s.heap.Page(s.next).Zones, true
+}
+
+// Skip advances past the next page without touching the buffer pool — a
+// pruned page is never physically read, so no disk or pool state changes.
+func (s *PageScan) Skip() {
+	if s.next < s.heap.NumPages() {
+		s.next++
+	}
+}
+
 // Reset rewinds the cursor to the first page.
 func (s *PageScan) Reset() { s.next = 0 }
 
@@ -89,6 +108,28 @@ func (s *CircularScan) Next() (idx int, page *Page, ok bool) {
 	}
 	s.cur = (idx + 1) % n
 	return idx, page, true
+}
+
+// PeekZones returns the zone maps of the page under the cursor without
+// advancing and without touching the buffer pool. ok is false when the
+// heap has no pages.
+func (s *CircularScan) PeekZones() (zones []expr.Zone, ok bool) {
+	if s.heap.NumPages() == 0 {
+		return nil, false
+	}
+	return s.heap.Page(s.cur).Zones, true
+}
+
+// Skip advances past the page under the cursor without touching the buffer
+// pool — the circular cousin of PageScan.Skip for pruned pages.
+func (s *CircularScan) Skip() (idx int, ok bool) {
+	n := s.heap.NumPages()
+	if n == 0 {
+		return 0, false
+	}
+	idx = s.cur
+	s.cur = (idx + 1) % n
+	return idx, true
 }
 
 // DefaultMorselRunLength is how many adjacent pages one morsel-run handout
