@@ -77,6 +77,8 @@ experiments:
   parallelagg ablation: serial vs morsel-parallel aggregation wall-clock (see -parallel-agg)
   compression ablation: plain vs compressed columnar storage — zone-map
             pruning + dictionary strings (see -zone-maps, -dict-strings)
+  optimizer ablation: cost-and-energy optimizer objectives on a TPC-H Q5
+            batch — hand-lowered vs latency-optimal vs joules-optimal plans
   all       every paper experiment (table1..fig6, warmcold)
 
 flags:
@@ -134,8 +136,10 @@ func runOne(name string) error {
 		out = experiments.ParallelAgg(override(experiments.DefaultCommercialConfig()), *flagParallel)
 	case "compression":
 		out = experiments.Compression(override(experiments.DefaultCommercialConfig()), *flagZoneMaps, *flagDict)
+	case "optimizer":
+		out = experiments.Optimizer(override(experiments.DefaultCommercialConfig()))
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar parallelagg compression all; flags go before the experiment name)", name)
+		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar parallelagg compression optimizer all; flags go before the experiment name)", name)
 	}
 	fmt.Println(out)
 	fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

@@ -83,6 +83,9 @@ type Table struct {
 	Name   string
 	Schema *Schema
 	Heap   *storage.Heap
+
+	// stats caches the optimizer statistics; see Table.Stats.
+	stats *TableStats
 }
 
 // NewTable creates an empty table with the default page size.

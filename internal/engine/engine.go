@@ -134,6 +134,7 @@ type Rows struct {
 	e   *Engine
 	op  exec.Operator
 	ctx *exec.Ctx
+	par int // simulated cores this statement runs on
 
 	start      sim.Time
 	poolBefore storage.PoolStats
@@ -148,6 +149,12 @@ type Rows struct {
 // consumer pulls. The old fully-materialized Exec is a thin wrapper over
 // this.
 func (e *Engine) Query(p plan.Node) *Rows {
+	// With an objective enabled, re-derive the plan through the optimizer
+	// (join order, build sides, pushdown, parallelism); plans the extractor
+	// does not recognize fall back to executing as given.
+	if lowered, ch, ok := e.optimize(p, 0); ok {
+		return e.startQueryPar(exec.CompileParallel(lowered, e.prof.Workers), ch.Parallelism)
+	}
 	// Eligible scan→filter→project fragments run morsel-parallel across
 	// the profile's worker goroutines; CompileParallel falls back to the
 	// serial operators for Workers <= 1. Simulated accounting is
@@ -159,14 +166,23 @@ func (e *Engine) Query(p plan.Node) *Rows {
 // opens op as a streaming result — the shared tail of Query and the
 // shared-scan admission path (see SharedSession).
 func (e *Engine) startQuery(op exec.Operator) *Rows {
+	return e.startQueryPar(op, e.prof.Parallelism)
+}
+
+// startQueryPar is startQuery at an explicit parallelism degree — the
+// optimizer's chosen degree when a statement routes through it.
+func (e *Engine) startQueryPar(op exec.Operator, par int) *Rows {
+	if par < 1 {
+		par = 1
+	}
 	c := e.mach.CPUModel()
-	c.SetParallelism(e.prof.Parallelism)
+	c.SetParallelism(par)
 	// The machine is single-threaded between pulls: parallelism is raised
 	// only while executor work runs (here and inside Next), so an
 	// abandoned iterator can never leave the shared CPU misconfigured.
 	defer c.SetParallelism(1)
 
-	r := &Rows{e: e, start: c.Clock().Now()}
+	r := &Rows{e: e, par: par, start: c.Clock().Now()}
 	if e.pool != nil {
 		r.poolBefore = e.pool.Stats()
 	}
@@ -205,7 +221,7 @@ func (r *Rows) Next() (*expr.Batch, error) {
 		return nil, nil
 	}
 	c := r.e.mach.CPUModel()
-	c.SetParallelism(r.e.prof.Parallelism)
+	c.SetParallelism(r.par)
 	defer c.SetParallelism(1)
 	b, err := r.op.Next(r.ctx)
 	if err != nil {

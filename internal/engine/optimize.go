@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"ecodb/internal/opt"
+	"ecodb/internal/plan"
+)
+
+// This file is the engine's edge of the cost-and-energy optimizer: it
+// packages the profile's cost constants and the machine's CPU model into
+// an opt.Env, and routes statements through Extract → Optimize → Lower
+// when the profile's Objective is enabled.
+
+// OptimizerEnv returns the costing environment and objective this engine
+// plans under — the hook the SQL front end's EXPLAIN uses.
+func (e *Engine) OptimizerEnv() (opt.Env, opt.Objective) {
+	return e.optEnv(0), e.prof.Objective
+}
+
+// optEnv builds the optimizer environment. sharedQ > 1 advertises the
+// shared-scan access path with that many co-attached queries expected.
+func (e *Engine) optEnv(sharedQ int) opt.Env {
+	return opt.Env{
+		CPU:               e.mach.CPUModel(),
+		Cost:              e.prof.Cost,
+		Amplify:           e.prof.Amplification(),
+		OverheadCycles:    e.prof.QueryOverheadCycles,
+		MaxParallelism:    e.prof.Parallelism,
+		SharedConcurrency: sharedQ,
+	}
+}
+
+// optimize re-plans p under the profile's objective. ok is false when the
+// objective is disabled or the plan cannot be optimized (unrecognized
+// shape, no statistics, no admissible lowering) — callers then execute p
+// exactly as handed in, so optimization can never lose a query.
+func (e *Engine) optimize(p plan.Node, sharedQ int) (plan.Node, *opt.Choice, bool) {
+	if !e.prof.Objective.Enabled {
+		return nil, nil, false
+	}
+	lg, base, err := opt.Extract(p)
+	if err != nil {
+		return nil, nil, false
+	}
+	ch, err := opt.Optimize(lg, base, e.optEnv(sharedQ), e.prof.Objective)
+	if err != nil {
+		return nil, nil, false
+	}
+	lowered, err := lg.Lower(ch.Phys)
+	if err != nil {
+		return nil, nil, false
+	}
+	return lowered, ch, true
+}

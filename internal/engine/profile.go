@@ -11,7 +11,10 @@
 //     CPU-bound", §3.4).
 package engine
 
-import "ecodb/internal/exec"
+import (
+	"ecodb/internal/exec"
+	"ecodb/internal/opt"
+)
 
 // Profile configures an engine's execution character.
 type Profile struct {
@@ -59,6 +62,14 @@ type Profile struct {
 	WorkAmplification float64
 	// Seed drives the engine's internal randomness (background I/O).
 	Seed uint64
+	// Objective, when enabled, routes Query and SharedSession.Query
+	// statements through the cost-and-energy optimizer (internal/opt): the
+	// plan is re-derived from catalog statistics and lowered to whichever
+	// physical shape, parallelism degree and access path the objective
+	// scores best. The zero Objective (the default in every stock profile)
+	// bypasses the optimizer entirely — hand-lowered plans execute exactly
+	// as given, which is what keeps the golden suites stable.
+	Objective opt.Objective
 }
 
 // Amplification returns the effective work amplification (≥ 1 by default).

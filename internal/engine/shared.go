@@ -24,6 +24,9 @@ import (
 type SharedSession struct {
 	e      *Engine
 	coords map[string]*scanshare.Coordinator
+	// expected is the admission-time concurrency hint the optimizer costs
+	// the shared access path with; see SetExpectedConcurrency.
+	expected int
 }
 
 // NewSharedSession returns a shared-scan session over the engine's tables.
@@ -54,7 +57,39 @@ func (s *SharedSession) Coordinator(t *catalog.Table) *scanshare.Coordinator {
 // pass before the rest of the batch is admitted (extra laps, see
 // workload.RunShared).
 func (s *SharedSession) Query(p plan.Node) *Rows {
-	return s.e.startQuery(exec.CompileLeaf(p, func(scan *plan.Scan) exec.Operator {
-		return exec.NewSharedScan(s.Coordinator(scan.Table), scan.Table, scan.Filter)
-	}))
+	// With an objective enabled, the optimizer weighs the shared attach
+	// against a private scan for this plan: sharing amortizes page
+	// streaming across the expected concurrency (energy down) while
+	// stretching per-query response as the queries time-share the machine.
+	// Choice.Shared selects which leaf compilation the statement gets.
+	if lowered, ch, ok := s.e.optimize(p, s.ExpectedConcurrency()); ok {
+		if ch.Shared {
+			return s.e.startQueryPar(exec.CompileLeaf(lowered, s.sharedLeaf), ch.Parallelism)
+		}
+		return s.e.startQueryPar(exec.CompileParallel(lowered, s.e.prof.Workers), ch.Parallelism)
+	}
+	return s.e.startQuery(exec.CompileLeaf(p, s.sharedLeaf))
+}
+
+// sharedLeaf compiles one scan leaf as an attach to the session's shared
+// pass over that table.
+func (s *SharedSession) sharedLeaf(scan *plan.Scan) exec.Operator {
+	return exec.NewSharedScan(s.Coordinator(scan.Table), scan.Table, scan.Filter)
+}
+
+// SetExpectedConcurrency tells the optimizer how many queries the caller
+// intends to co-attach to this session's passes — the Q that pass-fired
+// work amortizes over. Values below 2 reset to the default.
+func (s *SharedSession) SetExpectedConcurrency(n int) {
+	s.expected = n
+}
+
+// ExpectedConcurrency returns the admission-time concurrency hint;
+// defaults to 2 (a shared session exists because at least two queries are
+// expected to ride the pass).
+func (s *SharedSession) ExpectedConcurrency() int {
+	if s.expected < 2 {
+		return 2
+	}
+	return s.expected
 }

@@ -473,3 +473,42 @@ func TestParallelAggAblationChargingNeutral(t *testing.T) {
 		t.Fatal("control report should name the mode")
 	}
 }
+
+func TestOptimizerAblation(t *testing.T) {
+	cfg := Config{SF: 0.05, Amplification: 20, Seed: 42, ProtocolRuns: 1}
+	if testing.Short() {
+		cfg = Config{SF: 0.01, Amplification: 100, Seed: 42, ProtocolRuns: 1}
+	}
+	r := Optimizer(cfg)
+
+	// The optimizer's hard safety property: whatever plans the objectives
+	// pick, every query's rows are bit-identical across all three arms.
+	if !r.RowsIdentical {
+		t.Fatal("optimized arms returned different rows than the hand-lowered baseline")
+	}
+	// The paper's operating-point claim: the two objectives choose
+	// different physical plans for the same batch...
+	if !r.PlanFlipped {
+		t.Fatalf("latency and joules objectives chose the same plan: %q", r.Arms[1].Plan)
+	}
+	if !strings.Contains(r.Arms[1].Plan, "private") {
+		t.Errorf("latency arm should scan privately, chose %q", r.Arms[1].Plan)
+	}
+	if !strings.Contains(r.Arms[2].Plan, "shared") {
+		t.Errorf("joules arm should ride the shared pass, chose %q", r.Arms[2].Plan)
+	}
+	// ...and the joules plan buys a real saving: >=10% lower J/query under
+	// equal-window accounting, paid for with a longer makespan.
+	if s := r.JouleSavingPct(); s < 10 {
+		t.Errorf("window J/query saving %.1f%%, want >= 10%%", s)
+	}
+	if r.Arms[2].Time <= r.Arms[1].Time {
+		t.Errorf("joules arm should trade time for energy: %v vs latency %v", r.Arms[2].Time, r.Arms[1].Time)
+	}
+	if r.Arms[2].PerQuery >= r.Arms[1].PerQuery {
+		t.Errorf("joules arm burns more even before window accounting: %v vs %v", r.Arms[2].PerQuery, r.Arms[1].PerQuery)
+	}
+	if !strings.Contains(r.String(), "plan flipped across objectives: yes") {
+		t.Fatal("report should state the flip")
+	}
+}

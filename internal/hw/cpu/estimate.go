@@ -1,0 +1,52 @@
+package cpu
+
+// Estimation mirrors of Run's pacing and power math, used by the query
+// optimizer to cost candidate plans in simulated seconds and joules
+// without advancing the clock or touching the trace. Keeping them in this
+// package (rather than duplicating formulas in internal/opt) means a
+// change to Run's timing model automatically propagates to plan costing.
+
+// EstimateSeconds returns the wall-clock seconds Run would take to execute
+// cycles of the given kind at the given parallelism under the current
+// tuning (underclock, caps), without executing anything.
+//
+// Compute work divides across cores; memory-paced work (MemStall, Stream)
+// does not — its duration is set by the memory clock regardless of how
+// many cores wait on it. That asymmetry is the optimizer's main
+// parallelism lever: extra cores halve compute time but only add
+// switching power to stall time.
+func (c *CPU) EstimateSeconds(cycles float64, kind WorkKind, parallelism int) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	switch kind {
+	case Compute:
+		return cycles / (c.Freq(c.TopPState()).Hz() * float64(parallelism))
+	case MemStall:
+		base := cycles / (MHz(float64(c.cfg.FSB) * c.cfg.MemMultiplier)).Hz()
+		return base * c.memSlowdown()
+	case Stream:
+		base := cycles / (MHz(float64(c.cfg.FSB) * c.cfg.MemMultiplier)).Hz()
+		return base * c.memTimingPenalty() / (1 - c.underclock)
+	default:
+		return 0
+	}
+}
+
+// EstimateEnergy returns the package joules Run would record for cycles of
+// the given kind at the given parallelism: busy power at the segment's
+// p-state and activity, times the segment duration.
+func (c *CPU) EstimateEnergy(cycles float64, kind WorkKind, parallelism int) float64 {
+	secs := c.EstimateSeconds(cycles, kind, parallelism)
+	if secs == 0 {
+		return 0
+	}
+	ps := c.TopPState()
+	if kind == MemStall || kind == Stream {
+		ps = c.stallPState()
+	}
+	return float64(c.power(ps, c.activityFor(kind), parallelism)) * secs
+}

@@ -1,0 +1,87 @@
+package opt_test
+
+import (
+	"testing"
+	"time"
+
+	"ecodb/internal/engine"
+	"ecodb/internal/hw/system"
+	"ecodb/internal/opt"
+	"ecodb/internal/tpch"
+)
+
+// BenchmarkOptimizeQ5 measures full optimization of the six-table Q5 join
+// — extract excluded, since the engine runs Extract+Optimize per query and
+// the DP enumeration dominates. The bench-smoke CI job runs this to catch
+// planning-cost regressions; TestPlanningFractionOfQ5Execution holds the
+// budget itself.
+func BenchmarkOptimizeQ5(b *testing.B) {
+	e := commercialEngine(b, opt.Objective{})
+	lg, base, err := opt.Extract(tpch.Q5(e.Catalog(), "ASIA", 1994))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, _ := e.OptimizerEnv()
+	obj := opt.MinimizeJoules()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(lg, base, env, obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPlanningFractionOfQ5Execution pins the optimizer's planning budget:
+// extracting and optimizing Q5 must cost under 1% of executing it at the
+// experiments' default scale (SF 0.05 × 20, paper-equivalent 1). Both
+// sides are real Go wall-clock, so planning is averaged over many rounds
+// and execution over a few to keep scheduler noise out of the ratio.
+func TestPlanningFractionOfQ5Execution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock ratio needs the full experiment scale")
+	}
+	prof := engine.ProfileCommercial()
+	prof.WorkAmplification = 20
+	e := engine.New(prof, system.NewSUT())
+	tpch.NewGenerator(0.05, 42).Load(e.Catalog(),
+		tpch.Region, tpch.Nation, tpch.Supplier, tpch.Customer, tpch.Orders, tpch.Lineitem)
+	e.WarmAll()
+	p := tpch.Q5(e.Catalog(), "ASIA", 1994)
+	env, _ := e.OptimizerEnv()
+	obj := opt.MinimizeJoules()
+
+	// Warm the catalog's statistics cache: tables compute stats once per
+	// load (a hashed NDV pass), and every query planned afterwards reuses
+	// them — the steady state this budget is about.
+	if lg, base, err := opt.Extract(p); err != nil {
+		t.Fatal(err)
+	} else if _, err := opt.Optimize(lg, base, env, obj); err != nil {
+		t.Fatal(err)
+	}
+
+	const planRounds = 200
+	start := time.Now()
+	for i := 0; i < planRounds; i++ {
+		lg, base, err := opt.Extract(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt.Optimize(lg, base, env, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	planning := time.Since(start) / planRounds
+
+	const execRounds = 3
+	start = time.Now()
+	for i := 0; i < execRounds; i++ {
+		e.Exec(p)
+	}
+	execution := time.Since(start) / execRounds
+
+	frac := float64(planning) / float64(execution)
+	t.Logf("planning %v, execution %v, fraction %.3f%%", planning, execution, frac*100)
+	if frac >= 0.01 {
+		t.Errorf("planning costs %.2f%% of Q5 execution, budget is 1%%", frac*100)
+	}
+}

@@ -1,0 +1,270 @@
+// Package opt is the cost-and-energy query optimizer: it estimates
+// per-operator cardinalities from catalog statistics, costs candidate
+// physical plans in simulated seconds AND joules using the engine's own
+// cycle constants and CPU power model, and picks the plan a configurable
+// objective prefers — minimum latency, minimum joules, or a blend. The
+// same cycle accounting that the executor charges at run time (see
+// internal/exec) is what the optimizer predicts at plan time, so "the
+// cost model is the energy model" holds on both sides of the planner.
+package opt
+
+import (
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/plan"
+)
+
+// defaultSel is the selectivity assumed for predicates the statistics
+// cannot size (System R's 1/3).
+const defaultSel = 1.0 / 3
+
+// minRows floors every cardinality estimate so downstream divisions and
+// logarithms stay sane.
+const minRows = 1e-3
+
+// est is one optimization's estimation context: the logical plan, the
+// environment, and each table's statistics.
+type est struct {
+	lg    *plan.Logical
+	env   Env
+	stats []*catalog.TableStats
+
+	// Enumeration caches: selectivity per conjunct, endpoint tables per
+	// conjunct column, and leaf scan cost per table — all shape-independent,
+	// so the DP's inner loop never recomputes them.
+	conjSel   []float64
+	conjLeft  []int // TableOf(LeftCol), -1 for non-equi conjuncts
+	conjRight []int
+}
+
+func newEst(lg *plan.Logical, env Env) *est {
+	e := &est{lg: lg, env: env, stats: make([]*catalog.TableStats, len(lg.Tables))}
+	for i, t := range lg.Tables {
+		e.stats[i] = t.Stats()
+	}
+	e.conjSel = make([]float64, len(lg.Conjuncts))
+	e.conjLeft = make([]int, len(lg.Conjuncts))
+	e.conjRight = make([]int, len(lg.Conjuncts))
+	for i, c := range lg.Conjuncts {
+		e.conjSel[i] = e.conjunctSel(c)
+		e.conjLeft[i], e.conjRight[i] = -1, -1
+		if c.EquiJoin {
+			e.conjLeft[i] = lg.TableOf(c.LeftCol)
+			e.conjRight[i] = lg.TableOf(c.RightCol)
+		}
+	}
+	return e
+}
+
+// colStats returns the statistics of a global column id.
+func (e *est) colStats(g int) (catalog.ColStats, int64) {
+	t := e.lg.TableOf(g)
+	return *e.stats[t].Col(g - e.lg.ColOffset(t)), e.stats[t].Rows
+}
+
+// ndv returns a column's distinct count, floored at 1.
+func (e *est) ndv(g int) float64 {
+	cs, _ := e.colStats(g)
+	if cs.NDV < 1 {
+		return 1
+	}
+	return float64(cs.NDV)
+}
+
+// numericValue converts orderable values to a point on the number line for
+// interval-fraction estimates.
+func numericValue(v expr.Value) (float64, bool) {
+	switch v.Kind {
+	case expr.KindInt, expr.KindDate, expr.KindBool:
+		return float64(v.I), true
+	case expr.KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// rangeFraction estimates the fraction of a column's [min, max] domain
+// below point v.
+func rangeFraction(cs catalog.ColStats, v expr.Value) (float64, bool) {
+	if !cs.Valid {
+		return 0, false
+	}
+	lo, okLo := numericValue(cs.Min)
+	hi, okHi := numericValue(cs.Max)
+	x, okX := numericValue(v)
+	if !okLo || !okHi || !okX || hi <= lo {
+		return 0, false
+	}
+	f := (x - lo) / (hi - lo)
+	return clamp01(f), true
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// sel estimates the selectivity of a bound predicate whose column
+// references are global ids. It mirrors the classic System R rules,
+// sized by the zone-map-harvested statistics.
+func (e *est) sel(p expr.Expr) float64 {
+	switch n := p.(type) {
+	case expr.Cmp:
+		return e.selCmp(n)
+	case expr.Between:
+		if col, ok := n.E.(expr.Col); ok {
+			cs, _ := e.colStats(col.Idx)
+			lo, okL := rangeFraction(cs, n.Lo)
+			hi, okH := rangeFraction(cs, n.Hi)
+			if okL && okH {
+				return clamp01(hi - lo)
+			}
+		}
+		return defaultSel
+	case expr.And:
+		s := 1.0
+		for _, t := range n.Terms {
+			s *= e.sel(t)
+		}
+		return s
+	case expr.Or:
+		miss := 1.0
+		for _, t := range n.Terms {
+			miss *= 1 - e.sel(t)
+		}
+		return 1 - miss
+	case expr.Not:
+		return clamp01(1 - e.sel(n.E))
+	case *expr.InHash:
+		if col, ok := n.E.(expr.Col); ok {
+			return clamp01(float64(len(n.Set)) / e.ndv(col.Idx))
+		}
+		return defaultSel
+	default:
+		return defaultSel
+	}
+}
+
+func (e *est) selCmp(n expr.Cmp) float64 {
+	col, colOK := n.L.(expr.Col)
+	cst, cstOK := n.R.(expr.Const)
+	flipped := false
+	if !colOK || !cstOK {
+		// Try const <op> col.
+		if c2, ok := n.R.(expr.Col); ok {
+			if k2, ok := n.L.(expr.Const); ok {
+				col, cst, colOK, cstOK, flipped = c2, k2, true, true, true
+			}
+		}
+	}
+	if !colOK || !cstOK {
+		if n.Op == expr.EQ {
+			// col = col (same table, or a join edge costed elsewhere).
+			return defaultSel
+		}
+		return defaultSel
+	}
+	cs, _ := e.colStats(col.Idx)
+	op := n.Op
+	if flipped {
+		op = flipCmp(op)
+	}
+	switch op {
+	case expr.EQ:
+		return clamp01(1 / e.ndv(col.Idx))
+	case expr.NE:
+		return clamp01(1 - 1/e.ndv(col.Idx))
+	case expr.LT, expr.LE:
+		if f, ok := rangeFraction(cs, cst.V); ok {
+			return f
+		}
+		return defaultSel
+	case expr.GT, expr.GE:
+		if f, ok := rangeFraction(cs, cst.V); ok {
+			return clamp01(1 - f)
+		}
+		return defaultSel
+	default:
+		return defaultSel
+	}
+}
+
+// flipCmp mirrors a comparison for const <op> col shapes.
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}
+
+// conjunctSel estimates one logical conjunct's selectivity: equi-join
+// edges use the containment rule 1/max(ndv), everything else the
+// predicate rules above.
+func (e *est) conjunctSel(c plan.Conjunct) float64 {
+	if c.EquiJoin {
+		return 1 / max(e.ndv(c.LeftCol), e.ndv(c.RightCol), 1)
+	}
+	return e.sel(c.Pred)
+}
+
+// rowsOf estimates the output cardinality of joining a table subset with
+// every covered conjunct applied — independent of join order and build
+// sides, which is what lets the enumerator share it across candidates.
+func (e *est) rowsOf(s plan.TableSet) float64 {
+	rows := 1.0
+	for t := range e.lg.Tables {
+		if s.Has(t) {
+			rows *= float64(e.stats[t].Rows)
+		}
+	}
+	for _, c := range e.lg.Conjuncts {
+		if c.Tables != 0 && c.Tables.SubsetOf(s) {
+			rows *= e.conjunctSel(c)
+		}
+	}
+	return max(rows, minRows)
+}
+
+// groupCount estimates an aggregation's output groups: the product of the
+// grouping columns' distinct counts, capped by the input cardinality.
+func (e *est) groupCount(inRows float64) float64 {
+	if e.lg.Agg == nil {
+		return inRows
+	}
+	if len(e.lg.Agg.GroupBy) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, g := range e.lg.Agg.GroupBy {
+		groups *= e.ndv(g)
+	}
+	return max(min(groups, inRows), 1)
+}
+
+// outRowBytes estimates the wire size of one output row from the result
+// schema's kinds.
+func (e *est) outRowBytes() float64 {
+	var b float64
+	for _, c := range e.lg.OutputSchema().Columns() {
+		if c.Kind == expr.KindString {
+			b += 16
+		} else {
+			b += 8
+		}
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/plan"
+)
+
+// Explain renders an optimizer choice for a logical plan: the execution
+// configuration, the whole-plan estimates, and one line per operator with
+// its estimated output rows, cycles, and joules under the chosen
+// configuration. The output is deterministic for a given plan and
+// environment, which is what lets golden tests pin it.
+func Explain(lg *plan.Logical, env Env, ch *Choice) (string, error) {
+	if env.CPU == nil {
+		return "", fmt.Errorf("opt: explain needs a CPU model")
+	}
+	e := newEst(lg, env)
+	order := ch.Phys.JoinOrder
+	builds := ch.Phys.BuildLeft
+	if order == nil {
+		order = lg.DefaultChoices().JoinOrder
+	}
+	if builds == nil {
+		builds = lg.DefaultChoices().BuildLeft
+	}
+	_, _, ops, ok := e.planCycles(order, builds, ch.Phys.Pushdown, true)
+	if !ok {
+		return "", fmt.Errorf("opt: choice does not lower against %s", lg.Describe())
+	}
+
+	var b strings.Builder
+	access := "private-scan"
+	if ch.Shared {
+		access = "shared-scan"
+	}
+	fmt.Fprintf(&b, "objective=%s parallelism=%d access=%s pushdown=%s\n",
+		ch.Objective, ch.Parallelism, access, ch.Phys.Pushdown)
+	names := make([]string, len(order))
+	for i, t := range order {
+		names[i] = lg.Tables[t].Name
+	}
+	if len(order) > 1 {
+		sides := make([]string, len(builds))
+		for i, bl := range builds {
+			if bl {
+				sides[i] = "L"
+			} else {
+				sides[i] = "R"
+			}
+		}
+		fmt.Fprintf(&b, "join order: %s  build sides: %s\n",
+			strings.Join(names, " ⨝ "), strings.Join(sides, " "))
+	}
+	fmt.Fprintf(&b, "estimated: %s  %s  %s rows\n",
+		fmtSecs(ch.EstSeconds), fmtJoules(ch.EstJoules), fmtRows(ch.EstRows))
+	b.WriteString("operators:\n")
+	for _, op := range ops {
+		joules := e.opJoules(op, ch.Parallelism, ch.Shared)
+		fmt.Fprintf(&b, "  %-52s rows≈%-10s cycles≈%-10s %s\n",
+			op.desc, fmtRows(op.rows), fmtCycles(op.cyc.total()), fmtJoules(joules))
+	}
+	return b.String(), nil
+}
+
+// opJoules converts one operator's estimated cycles to joules under the
+// chosen configuration. Scan leaves amortize their pass-fired work across
+// the shared pass when the shared access path was chosen, matching the
+// whole-plan accounting in timeEnergy.
+func (e *est) opJoules(op opEst, par int, shared bool) float64 {
+	amp := e.amp()
+	q := 1.0
+	if shared && op.scanTable >= 0 && e.env.SharedConcurrency > 1 {
+		q = float64(e.env.SharedConcurrency)
+	}
+	c := op.cyc
+	var j float64
+	j += e.env.CPU.EstimateEnergy((c.k[cpu.Compute]-c.passZone+c.passZone/q)*amp, cpu.Compute, par)
+	j += e.env.CPU.EstimateEnergy(c.k[cpu.MemStall]*amp, cpu.MemStall, par)
+	j += e.env.CPU.EstimateEnergy((c.k[cpu.Stream]-c.passStream+c.passStream/q)*amp, cpu.Stream, par)
+	return j
+}
+
+func fmtSecs(s float64) string {
+	switch {
+	case s <= 0:
+		return "0 s"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1f µs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3f s", s)
+	}
+}
+
+func fmtJoules(j float64) string {
+	switch {
+	case j <= 0:
+		return "0 J"
+	case j < 1e-3:
+		return fmt.Sprintf("%.1f µJ", j*1e6)
+	case j < 1:
+		return fmt.Sprintf("%.2f mJ", j*1e3)
+	default:
+		return fmt.Sprintf("%.3f J", j)
+	}
+}
+
+func fmtRows(r float64) string {
+	if r < 1 {
+		return "0"
+	}
+	if r < 1e6 {
+		return fmt.Sprintf("%.0f", r)
+	}
+	return fmt.Sprintf("%.3g", r)
+}
+
+func fmtCycles(c float64) string {
+	if c < 1e4 {
+		return fmt.Sprintf("%.0f", c)
+	}
+	return fmt.Sprintf("%.3g", c)
+}

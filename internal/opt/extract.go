@@ -1,0 +1,372 @@
+package opt
+
+import (
+	"fmt"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/plan"
+)
+
+// Extract rebuilds the logical form of a hand-lowered physical plan, plus
+// the physical choices that plan embodies, so programmatic plans (the
+// tpch package, tests, callers of engine.Query) can flow through the
+// optimizer without a SQL front end. The returned choices re-lower to a
+// plan with the same result rows in the same order as root.
+//
+// Supported shapes are exactly what plan.Lower produces and the hand
+// planners build: an optional Limit/Sort/Project/Agg stack (outermost to
+// innermost, each at most once) over a tree of hash joins whose every
+// join has at least one Scan (or Filter over Scan) child — i.e. linear,
+// not bushy. Anything else returns an error, and callers fall back to
+// executing root as given.
+func Extract(root plan.Node) (*plan.Logical, plan.PhysChoices, error) {
+	n := root
+	limit := -1
+	if l, ok := n.(*plan.Limit); ok {
+		limit = l.N
+		n = l.Input
+	}
+	var sortKeys []plan.SortKey
+	if s, ok := n.(*plan.Sort); ok {
+		sortKeys = s.Keys
+		n = s.Input
+	}
+	var proj *plan.Project
+	if p, ok := n.(*plan.Project); ok {
+		proj = p
+		n = p.Input
+	}
+	var agg *plan.Agg
+	if a, ok := n.(*plan.Agg); ok {
+		agg = a
+		n = a.Input
+	}
+
+	// Filters between the stack and the join tree: collect, translate once
+	// the column map exists.
+	var filters []expr.Expr
+	for {
+		f, ok := n.(*plan.Filter)
+		if !ok {
+			break
+		}
+		filters = append(filters, f.Pred)
+		n = f.Input
+	}
+
+	scans, builds, err := flattenJoins(n)
+	if err != nil {
+		return nil, plan.PhysChoices{}, err
+	}
+
+	tables := make([]*catalog.Table, len(scans))
+	for i, s := range scans {
+		tables[i] = s.Table
+	}
+	lg, err := plan.NewLogical(tables)
+	if err != nil {
+		return nil, plan.PhysChoices{}, err
+	}
+
+	// Column maps as Lower maintains them: curMap[i] = global id at
+	// position i of the accumulated stream after each join step.
+	curMap := tableGlobals(lg, 0)
+	addScanPreds := func(t int) error {
+		if scans[t].Filter == nil {
+			return nil
+		}
+		for _, p := range splitAnd(scans[t].Filter) {
+			g, err := remapChecked(p, func(i int) (int, bool) {
+				if i < 0 || i >= tables[t].Schema.NumCols() {
+					return 0, false
+				}
+				return lg.ColOffset(t) + i, true
+			})
+			if err != nil {
+				return fmt.Errorf("opt: extract scan filter on %s: %w", tables[t].Name, err)
+			}
+			if err := lg.AddPredicate(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := addScanPreds(0); err != nil {
+		return nil, plan.PhysChoices{}, err
+	}
+
+	// Replay the join steps bottom-up, emitting each step's key conjunct
+	// before its residuals so re-lowering picks the same hash keys.
+	join := n
+	steps := make([]*plan.HashJoin, 0, len(builds))
+	for j, ok := join.(*plan.HashJoin); ok; j, ok = join.(*plan.HashJoin) {
+		steps = append(steps, j)
+		if len(steps) > len(builds) {
+			return nil, plan.PhysChoices{}, fmt.Errorf("opt: join tree shape changed during replay")
+		}
+		if builds[len(builds)-len(steps)] {
+			join = j.Build
+		} else {
+			join = j.Probe
+		}
+	}
+	for step := 1; step < len(scans); step++ {
+		j := steps[len(steps)-step] // steps was collected top-down
+		t := step
+		if err := addScanPreds(t); err != nil {
+			return nil, plan.PhysChoices{}, err
+		}
+		var gCur, gNew int
+		var newMap []int
+		if builds[step-1] {
+			gCur, gNew = curMap[j.BuildKey], lg.ColOffset(t)+j.ProbeKey
+			newMap = append(append([]int{}, curMap...), tableGlobals(lg, t)...)
+		} else {
+			gCur, gNew = curMap[j.ProbeKey], lg.ColOffset(t)+j.BuildKey
+			newMap = append(tableGlobals(lg, t), curMap...)
+		}
+		key := expr.Cmp{Op: expr.EQ,
+			L: expr.Col{Idx: gCur, Name: lg.ColName(gCur)},
+			R: expr.Col{Idx: gNew, Name: lg.ColName(gNew)}}
+		if err := lg.AddPredicate(key); err != nil {
+			return nil, plan.PhysChoices{}, err
+		}
+		if j.Residual != nil {
+			for _, p := range splitAnd(j.Residual) {
+				g, err := remapChecked(p, func(i int) (int, bool) {
+					if i < 0 || i >= len(newMap) {
+						return 0, false
+					}
+					return newMap[i], true
+				})
+				if err != nil {
+					return nil, plan.PhysChoices{}, fmt.Errorf("opt: extract join residual: %w", err)
+				}
+				if err := lg.AddPredicate(g); err != nil {
+					return nil, plan.PhysChoices{}, err
+				}
+			}
+		}
+		curMap = newMap
+	}
+
+	for _, f := range filters {
+		g, err := remapChecked(f, func(i int) (int, bool) {
+			if i < 0 || i >= len(curMap) {
+				return 0, false
+			}
+			return curMap[i], true
+		})
+		if err != nil {
+			return nil, plan.PhysChoices{}, fmt.Errorf("opt: extract filter: %w", err)
+		}
+		if err := lg.AddPredicate(g); err != nil {
+			return nil, plan.PhysChoices{}, err
+		}
+	}
+
+	if agg != nil {
+		groups := make([]int, len(agg.GroupBy))
+		for i, g := range agg.GroupBy {
+			if g < 0 || g >= len(curMap) {
+				return nil, plan.PhysChoices{}, fmt.Errorf("opt: extract group-by column %d out of scope", g)
+			}
+			groups[i] = curMap[g]
+		}
+		specs := make([]plan.AggSpec, len(agg.Aggs))
+		for i, s := range agg.Aggs {
+			specs[i] = s
+			if s.Arg != nil {
+				a, err := remapChecked(s.Arg, func(i int) (int, bool) {
+					if i < 0 || i >= len(curMap) {
+						return 0, false
+					}
+					return curMap[i], true
+				})
+				if err != nil {
+					return nil, plan.PhysChoices{}, fmt.Errorf("opt: extract aggregate argument: %w", err)
+				}
+				specs[i].Arg = a
+			}
+		}
+		if err := lg.SetAgg(groups, specs); err != nil {
+			return nil, plan.PhysChoices{}, err
+		}
+	}
+
+	if proj != nil {
+		spec := &plan.ProjectSpec{
+			Names: append([]string{}, proj.Names...),
+			Kinds: append([]expr.Kind{}, proj.Kinds...),
+		}
+		for _, e := range proj.Exprs {
+			var g expr.Expr
+			var err error
+			if agg != nil {
+				// Over the aggregate's output: positions are already
+				// shape-invariant, keep them.
+				g = e
+			} else {
+				g, err = remapChecked(e, func(i int) (int, bool) {
+					if i < 0 || i >= len(curMap) {
+						return 0, false
+					}
+					return curMap[i], true
+				})
+			}
+			if err != nil {
+				return nil, plan.PhysChoices{}, fmt.Errorf("opt: extract projection: %w", err)
+			}
+			spec.Exprs = append(spec.Exprs, g)
+		}
+		lg.Project = spec
+	}
+
+	lg.Sort = append([]plan.SortKey{}, sortKeys...)
+	lg.Limit = limit
+
+	base := plan.PhysChoices{
+		JoinOrder: identityOrder(len(tables)),
+		BuildLeft: builds,
+		Pushdown:  plan.PushdownAll,
+	}
+
+	// Sanity: the extracted logical must lower under its own base choices
+	// and present the same output schema as the original plan.
+	lowered, err := lg.Lower(base)
+	if err != nil {
+		return nil, plan.PhysChoices{}, fmt.Errorf("opt: extracted plan does not re-lower: %w", err)
+	}
+	if !sameSchema(lowered.Schema(), root.Schema()) {
+		return nil, plan.PhysChoices{}, fmt.Errorf("opt: extracted plan changes the output schema")
+	}
+	return lg, base, nil
+}
+
+// flattenJoins decomposes a linear hash-join tree into leaf scans in join
+// order (position i joins at step i−1) and the build-side flags the
+// original tree used. A lone scan yields one table and no steps.
+func flattenJoins(n plan.Node) ([]*plan.Scan, []bool, error) {
+	switch j := n.(type) {
+	case *plan.Scan:
+		return []*plan.Scan{j}, nil, nil
+	case *plan.HashJoin:
+		buildScan, buildLeaf := asScanLeaf(j.Build)
+		probeScan, probeLeaf := asScanLeaf(j.Probe)
+		switch {
+		case buildLeaf && probeLeaf:
+			// Bottom of the chain: the build side starts the order.
+			return []*plan.Scan{buildScan, probeScan}, []bool{true}, nil
+		case probeLeaf:
+			scans, builds, err := flattenJoins(j.Build)
+			if err != nil {
+				return nil, nil, err
+			}
+			return append(scans, probeScan), append(builds, true), nil
+		case buildLeaf:
+			scans, builds, err := flattenJoins(j.Probe)
+			if err != nil {
+				return nil, nil, err
+			}
+			return append(scans, buildScan), append(builds, false), nil
+		default:
+			return nil, nil, fmt.Errorf("opt: bushy join trees are not extractable")
+		}
+	default:
+		return nil, nil, fmt.Errorf("opt: cannot extract a logical plan from %T", n)
+	}
+}
+
+// asScanLeaf unwraps a Scan, folding a Filter chain above it into the
+// scan's own predicate.
+func asScanLeaf(n plan.Node) (*plan.Scan, bool) {
+	var preds []expr.Expr
+	for {
+		switch v := n.(type) {
+		case *plan.Scan:
+			s := v
+			for i := len(preds) - 1; i >= 0; i-- {
+				merged := s.Filter
+				if merged == nil {
+					merged = preds[i]
+				} else {
+					merged = expr.And{Terms: []expr.Expr{merged, preds[i]}}
+				}
+				s = plan.NewScan(s.Table, merged)
+			}
+			return s, true
+		case *plan.Filter:
+			preds = append(preds, v.Pred)
+			n = v.Input
+		default:
+			return nil, false
+		}
+	}
+}
+
+// splitAnd flattens nested conjunctions into their terms.
+func splitAnd(e expr.Expr) []expr.Expr {
+	if a, ok := e.(expr.And); ok {
+		var out []expr.Expr
+		for _, t := range a.Terms {
+			out = append(out, splitAnd(t)...)
+		}
+		return out
+	}
+	return []expr.Expr{e}
+}
+
+// remapChecked rewrites column references through f, failing (instead of
+// panicking, as plan.RemapExpr would) when a reference is out of scope or
+// the expression type is unknown.
+func remapChecked(e expr.Expr, f func(int) (int, bool)) (out expr.Expr, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("unsupported expression: %v", r)
+		}
+	}()
+	bad := false
+	out = plan.RemapExpr(e, func(i int) int {
+		g, ok := f(i)
+		if !ok {
+			bad = true
+			return 0
+		}
+		return g
+	})
+	if bad {
+		return nil, fmt.Errorf("column reference out of scope in %s", e)
+	}
+	return out, nil
+}
+
+func tableGlobals(lg *plan.Logical, t int) []int {
+	n := lg.Tables[t].Schema.NumCols()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lg.ColOffset(t) + i
+	}
+	return out
+}
+
+func identityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sameSchema(a, b *catalog.Schema) bool {
+	if a.NumCols() != b.NumCols() {
+		return false
+	}
+	ac, bc := a.Columns(), b.Columns()
+	for i := range ac {
+		if ac[i].Kind != bc[i].Kind {
+			return false
+		}
+	}
+	return true
+}

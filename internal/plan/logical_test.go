@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+)
+
+func logicalFixture(t *testing.T) (*Logical, *catalog.Table, *catalog.Table) {
+	t.Helper()
+	a := catalog.NewTable("a", catalog.NewSchema(
+		catalog.Column{Name: "id", Kind: expr.KindInt},
+		catalog.Column{Name: "v", Kind: expr.KindInt},
+	))
+	b := catalog.NewTable("b", catalog.NewSchema(
+		catalog.Column{Name: "aid", Kind: expr.KindInt},
+		catalog.Column{Name: "v", Kind: expr.KindInt},
+	))
+	lg, err := NewLogical([]*catalog.Table{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg, a, b
+}
+
+func TestLogicalResolve(t *testing.T) {
+	lg, _, _ := logicalFixture(t)
+
+	if g, err := lg.Resolve("", "id"); err != nil || g != 0 {
+		t.Fatalf("id -> %d, %v", g, err)
+	}
+	if g, err := lg.Resolve("", "aid"); err != nil || g != 2 {
+		t.Fatalf("aid -> %d, %v", g, err)
+	}
+	if g, err := lg.Resolve("b", "v"); err != nil || g != 3 {
+		t.Fatalf("b.v -> %d, %v", g, err)
+	}
+	if _, err := lg.Resolve("", "v"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("unqualified duplicate should be ambiguous, got %v", err)
+	}
+	if _, err := lg.Resolve("", "nope"); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	if _, err := lg.Resolve("c", "v"); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+}
+
+func TestLogicalLowerShapes(t *testing.T) {
+	lg, _, _ := logicalFixture(t)
+	mustPred := func(e expr.Expr) {
+		if err := lg.AddPredicate(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a.id = b.aid (join edge), a.v > 1 (single-table), a.v < b.v (residual).
+	mustPred(expr.Cmp{Op: expr.EQ, L: expr.Col{Idx: 0, Name: "id"}, R: expr.Col{Idx: 2, Name: "aid"}})
+	mustPred(expr.Cmp{Op: expr.GT, L: expr.Col{Idx: 1, Name: "v"}, R: expr.Const{V: expr.Int(1)}})
+	mustPred(expr.Cmp{Op: expr.LT, L: expr.Col{Idx: 1, Name: "v"}, R: expr.Col{Idx: 3, Name: "v"}})
+
+	if !lg.Conjuncts[0].EquiJoin || lg.Conjuncts[0].Tables != TableSet(0b11) {
+		t.Fatalf("join conjunct analysis = %+v", lg.Conjuncts[0])
+	}
+	if lg.Conjuncts[1].EquiJoin || lg.Conjuncts[1].Tables != TableSet(0b01) {
+		t.Fatalf("filter conjunct analysis = %+v", lg.Conjuncts[1])
+	}
+
+	root, err := lg.Lower(lg.DefaultChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, ok := root.(*HashJoin)
+	if !ok {
+		t.Fatalf("root = %T, want *HashJoin", root)
+	}
+	if join.BuildKey != 0 || join.ProbeKey != 0 || join.Residual == nil {
+		t.Fatalf("join keys/residual = %d/%d/%v", join.BuildKey, join.ProbeKey, join.Residual)
+	}
+	if scan, ok := join.Build.(*Scan); !ok || scan.Filter == nil {
+		t.Fatalf("build leaf should be the filtered scan of a, got %s", join.Build.Describe())
+	}
+
+	// Reversed order keeps the output schema but flips the physical shape
+	// and restores global column order with a projection.
+	rev, err := lg.Lower(PhysChoices{JoinOrder: []int{1, 0}, BuildLeft: []bool{true}, Pushdown: PushdownAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, ok := rev.(*Project)
+	if !ok {
+		t.Fatalf("reversed root = %T, want reorder *Project", rev)
+	}
+	want := lg.OutputSchema()
+	got := proj.Schema()
+	if got.NumCols() != want.NumCols() {
+		t.Fatalf("reordered width %d vs %d", got.NumCols(), want.NumCols())
+	}
+	for i := range want.Columns() {
+		if got.Columns()[i].Name != want.Columns()[i].Name {
+			t.Fatalf("col %d = %q, want %q", i, got.Columns()[i].Name, want.Columns()[i].Name)
+		}
+	}
+}
+
+func TestLogicalLowerNoJoinEdge(t *testing.T) {
+	lg, _, _ := logicalFixture(t)
+	if _, err := lg.Lower(lg.DefaultChoices()); err == nil {
+		t.Fatal("cross join without an equality edge should fail to lower")
+	}
+}
+
+func TestLogicalOutputSchemaQualifiesDuplicates(t *testing.T) {
+	lg, _, _ := logicalFixture(t)
+	out := lg.OutputSchema()
+	names := make([]string, out.NumCols())
+	for i, c := range out.Columns() {
+		names[i] = c.Name
+	}
+	if strings.Join(names, ",") != "id,v,aid,v_2" {
+		t.Fatalf("star schema = %v", names)
+	}
+}
+
+func TestRemapExprCoversAllNodes(t *testing.T) {
+	in := expr.And{Terms: []expr.Expr{
+		expr.Not{E: expr.Cmp{Op: expr.EQ, L: expr.Col{Idx: 1}, R: expr.Const{V: expr.Int(1)}}},
+		expr.Or{Terms: []expr.Expr{
+			expr.Between{E: expr.Col{Idx: 2}, Lo: expr.Int(0), Hi: expr.Int(9)},
+			expr.NewInHash(expr.Col{Idx: 3}, []expr.Value{expr.Int(4)}),
+		}},
+		expr.Cmp{Op: expr.LT, L: expr.Arith{Op: expr.Add, L: expr.Col{Idx: 4}, R: expr.Const{V: expr.Int(2)}}, R: expr.Col{Idx: 5}},
+	}}
+	out := RemapExpr(in, func(i int) int { return i + 10 })
+	var got []int
+	WalkCols(out, func(i int) { got = append(got, i) })
+	wantCols := []int{11, 12, 13, 14, 15}
+	if len(got) != len(wantCols) {
+		t.Fatalf("cols = %v", got)
+	}
+	for i := range got {
+		if got[i] != wantCols[i] {
+			t.Fatalf("cols = %v, want %v", got, wantCols)
+		}
+	}
+	// The original is untouched.
+	var orig []int
+	WalkCols(in, func(i int) { orig = append(orig, i) })
+	if orig[0] != 1 {
+		t.Fatalf("original mutated: %v", orig)
+	}
+}

@@ -2,8 +2,10 @@ package sql
 
 import "fmt"
 
-// SelectStmt is a parsed SELECT statement.
+// SelectStmt is a parsed SELECT statement, optionally prefixed with
+// EXPLAIN (which asks for the chosen physical plan instead of rows).
 type SelectStmt struct {
+	Explain bool
 	Items   []SelectItem
 	From    TableRef
 	Joins   []JoinClause

@@ -10,11 +10,17 @@ import (
 	"ecodb/internal/plan"
 )
 
-// Plan parses a SELECT statement and lowers it onto the catalog's tables,
-// producing an executable logical plan. Joins are built left-deep in FROM
-// order with hash joins on the equality conditions of each ON clause; WHERE
-// conjuncts that touch only the first table are pushed into its scan, the
-// engines' no-index plan shape.
+// The front end is split the way the cdb select planner splits it: this
+// file only translates the AST into a bound plan.Logical — name resolution
+// and validation live in the plan layer's global column space — and the
+// physical shape (join order, build sides, pushdown, access path) is a
+// separate lowering step. Plan and Bind keep the legacy "hand-lowered"
+// contract by lowering with the default FROM-order choices; optimizing
+// callers bind to the logical form and hand it to internal/opt instead.
+
+// Plan parses a SELECT statement and lowers it onto the catalog's tables
+// with the default physical choices: left-deep hash joins in FROM order,
+// accumulated side as build, single-table predicates pushed into scans.
 func Plan(cat *catalog.Catalog, query string) (plan.Node, error) {
 	stmt, err := Parse(query)
 	if err != nil {
@@ -23,216 +29,174 @@ func Plan(cat *catalog.Catalog, query string) (plan.Node, error) {
 	return Bind(cat, stmt)
 }
 
-// Bind lowers a parsed statement onto the catalog.
+// Bind lowers a parsed statement onto the catalog with default choices.
 func Bind(cat *catalog.Catalog, stmt *SelectStmt) (plan.Node, error) {
-	b := &binder{cat: cat}
-	return b.bind(stmt)
-}
-
-type binder struct {
-	cat *catalog.Catalog
-}
-
-// scope resolves column references against the current intermediate
-// schema, tracking which base table contributed each column.
-type scope struct {
-	schema *catalog.Schema
-	source []string // table name per column position
-}
-
-func (s *scope) resolve(c ColRef) (int, error) {
-	if c.Table == "" {
-		idx, ok := s.schema.Index(c.Name)
-		if !ok {
-			return 0, fmt.Errorf("sql: unknown column %q", c.Name)
-		}
-		return idx, nil
+	if stmt.Explain {
+		return nil, fmt.Errorf("sql: EXPLAIN statements are not executable; render them with sql.Explain")
 	}
-	for i, col := range s.schema.Columns() {
-		if col.Name == c.Name && s.source[i] == c.Table {
-			return i, nil
-		}
+	lg, err := BindLogical(cat, stmt)
+	if err != nil {
+		return nil, err
 	}
-	return 0, fmt.Errorf("sql: unknown column %q", c.String())
+	return lg.Lower(lg.DefaultChoices())
 }
 
-func (b *binder) bind(stmt *SelectStmt) (plan.Node, error) {
-	base, err := b.cat.Table(stmt.From.Name)
+// BindLogical binds a parsed statement to a logical plan: tables resolved,
+// every WHERE and ON conjunct bound over the global column space with
+// equi-join edges identified, aggregation/projection/ordering validated.
+// ON conjuncts may reference any table declared up to and including their
+// join; multi-condition ON clauses bind in full — one equality becomes the
+// hash-join edge at lowering time and the rest evaluate as residuals, with
+// qualified references resolving against base tables (not the renamed join
+// schema) and ambiguous unqualified references rejected.
+func BindLogical(cat *catalog.Catalog, stmt *SelectStmt) (*plan.Logical, error) {
+	tables := make([]*catalog.Table, 0, 1+len(stmt.Joins))
+	seen := make(map[string]bool)
+	addTable := func(ref TableRef) error {
+		t, err := cat.Table(ref.Name)
+		if err != nil {
+			return err
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("sql: table %q appears twice in FROM (aliases are not supported)", t.Name)
+		}
+		seen[t.Name] = true
+		tables = append(tables, t)
+		return nil
+	}
+	if err := addTable(stmt.From); err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		if err := addTable(j.Table); err != nil {
+			return nil, err
+		}
+	}
+	lg, err := plan.NewLogical(tables)
 	if err != nil {
 		return nil, err
 	}
 
-	// Split WHERE into conjuncts; push single-table ones into the scan.
-	conjuncts := splitConjuncts(stmt.Where)
-	baseScope := &scope{schema: base.Schema, source: tableSources(base)}
-	var scanPred expr.Expr
-	var residualWhere []Node
-	for _, c := range conjuncts {
-		if bound, err := bindExpr(c, baseScope); err == nil {
-			scanPred = andWith(scanPred, bound)
-		} else {
-			residualWhere = append(residualWhere, c)
+	// Predicates: WHERE sees every table; the i-th join's ON clause sees
+	// tables declared up to and including it.
+	bindConjuncts := func(n Node, visibleTables int) error {
+		sc := &scope{lg: lg, tables: visibleTables}
+		for _, c := range splitConjuncts(n) {
+			bound, err := bindExpr(c, sc)
+			if err != nil {
+				return err
+			}
+			if err := lg.AddPredicate(bound); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-
-	var root plan.Node = plan.NewScan(base, scanPred)
-	sc := baseScope
-
-	// Left-deep join chain.
-	for _, j := range stmt.Joins {
-		right, err := b.cat.Table(j.Table.Name)
-		if err != nil {
+	for i, j := range stmt.Joins {
+		if err := bindConjuncts(j.On, i+2); err != nil {
 			return nil, err
 		}
-		rightScope := &scope{schema: right.Schema, source: tableSources(right)}
-		joined, joinedScope, err := bindJoin(root, sc, right, rightScope, j.On)
-		if err != nil {
-			return nil, err
-		}
-		root, sc = joined, joinedScope
+	}
+	if err := bindConjuncts(stmt.Where, len(tables)); err != nil {
+		return nil, err
 	}
 
-	// Remaining WHERE conjuncts over the joined schema.
-	for _, c := range residualWhere {
-		bound, err := bindExpr(c, sc)
-		if err != nil {
-			return nil, err
-		}
-		root = plan.NewFilter(root, bound)
-	}
-
-	// Aggregation.
 	hasAgg := len(stmt.GroupBy) > 0
 	for _, it := range stmt.Items {
 		if it.Agg != "" {
 			hasAgg = true
 		}
 	}
-	if hasAgg {
-		root, sc, err = bindAgg(stmt, root, sc)
-		if err != nil {
+	fullScope := &scope{lg: lg, tables: len(tables)}
+	switch {
+	case hasAgg:
+		if err := bindAgg(stmt, lg, fullScope); err != nil {
 			return nil, err
 		}
-	} else if !isStar(stmt.Items) {
-		root, sc, err = bindProject(stmt.Items, root, sc)
-		if err != nil {
+	case !isStar(stmt.Items):
+		if err := bindProject(stmt.Items, lg, fullScope); err != nil {
 			return nil, err
 		}
 	}
 
-	// ORDER BY over the output schema.
-	if len(stmt.OrderBy) > 0 {
-		keys := make([]plan.SortKey, len(stmt.OrderBy))
-		for i, o := range stmt.OrderBy {
-			col, ok := o.Expr.(ColRef)
-			if !ok {
-				return nil, fmt.Errorf("sql: ORDER BY supports column references only, got %s", o.Expr)
+	// ORDER BY over the output schema: by output name, or — for star
+	// queries, where output positions are the global column space — by
+	// qualified base-table reference.
+	out := lg.OutputSchema()
+	for _, o := range stmt.OrderBy {
+		col, ok := o.Expr.(ColRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: ORDER BY supports column references only, got %s", o.Expr)
+		}
+		idx, found := out.Index(col.Name)
+		if col.Table != "" || !found {
+			if lg.Project != nil || lg.Agg != nil {
+				return nil, fmt.Errorf("sql: unknown ORDER BY column %q", col)
 			}
-			idx, err := sc.resolve(col)
+			g, err := lg.Resolve(col.Table, col.Name)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("sql: unknown ORDER BY column %q", col)
 			}
-			keys[i] = plan.SortKey{Col: idx, Desc: o.Desc}
+			idx = g
 		}
-		root = plan.NewSort(root, keys...)
+		lg.Sort = append(lg.Sort, plan.SortKey{Col: idx, Desc: o.Desc})
 	}
 
-	if stmt.Limit >= 0 {
-		root = plan.NewLimit(root, stmt.Limit)
-	}
-	return root, nil
+	lg.Limit = stmt.Limit
+	return lg, nil
 }
 
 func isStar(items []SelectItem) bool {
 	return len(items) == 1 && items[0].Star
 }
 
-func tableSources(t *catalog.Table) []string {
-	src := make([]string, t.Schema.NumCols())
-	for i := range src {
-		src[i] = t.Name
-	}
-	return src
+// scope adapts the logical plan's resolver to the binder, restricting
+// visibility to the first tables of the FROM list (SQL's left-to-right ON
+// scoping).
+type scope struct {
+	lg     *plan.Logical
+	tables int
 }
 
-// bindJoin builds a hash join between the accumulated left plan and a base
-// table, extracting one equality over (left, right) columns as the hash
-// keys and binding everything else in the ON clause as a residual.
-func bindJoin(left plan.Node, leftScope *scope, right *catalog.Table, rightScope *scope, on Node) (plan.Node, *scope, error) {
-	conjuncts := splitConjuncts(on)
-	keyIdx := -1
-	var lKey, rKey int
-	for i, c := range conjuncts {
-		bo, ok := c.(BinOp)
-		if !ok || bo.Op != "=" {
-			continue
-		}
-		lc, lok := bo.L.(ColRef)
-		rc, rok := bo.R.(ColRef)
-		if !lok || !rok {
-			continue
-		}
-		if li, err := leftScope.resolve(lc); err == nil {
-			if ri, err := rightScope.resolve(rc); err == nil {
-				keyIdx, lKey, rKey = i, li, ri
-				break
-			}
-		}
-		// Try flipped.
-		if li, err := leftScope.resolve(rc); err == nil {
-			if ri, err := rightScope.resolve(lc); err == nil {
-				keyIdx, lKey, rKey = i, li, ri
-				break
-			}
-		}
+func (s *scope) resolve(c ColRef) (int, error) {
+	g, err := s.lg.Resolve(c.Table, c.Name)
+	if err != nil {
+		return 0, fmt.Errorf("sql: %s", unknownColumn(c, err))
 	}
-	if keyIdx < 0 {
-		return nil, nil, fmt.Errorf("sql: JOIN %s requires an equality between the joined tables in ON", right.Name)
+	if s.lg.TableOf(g) >= s.tables {
+		return 0, fmt.Errorf("sql: column %q is not visible here (its table joins later)", c)
 	}
-
-	// Build side = accumulated left (small relations first in the
-	// paper's workloads), probe side = the new table.
-	j := plan.NewHashJoin(left, plan.NewScan(right, nil), lKey, rKey, nil)
-	joinedScope := &scope{
-		schema: j.Schema(),
-		source: append(append([]string{}, leftScope.source...), rightScope.source...),
-	}
-
-	// Residual conjuncts bind over the concatenated schema.
-	var residual expr.Expr
-	for i, c := range conjuncts {
-		if i == keyIdx {
-			continue
-		}
-		bound, err := bindExpr(c, joinedScope)
-		if err != nil {
-			return nil, nil, err
-		}
-		residual = andWith(residual, bound)
-	}
-	j.Residual = residual
-	return j, joinedScope, nil
+	return g, nil
 }
 
-// bindAgg lowers GROUP BY + aggregate select items, then projects the
-// select-list order on top when it differs from (groups..., aggs...).
-func bindAgg(stmt *SelectStmt, input plan.Node, sc *scope) (plan.Node, *scope, error) {
+// unknownColumn keeps the front end's error vocabulary while the plan
+// layer does the resolving.
+func unknownColumn(c ColRef, err error) string {
+	return fmt.Sprintf("unknown column %q: %v", c.String(), err)
+}
+
+// bindAgg binds GROUP BY plus aggregate select items, installing the
+// aggregation and the select-list-order projection over its output.
+func bindAgg(stmt *SelectStmt, lg *plan.Logical, sc *scope) error {
 	var groupIdx []int
 	for _, g := range stmt.GroupBy {
 		idx, err := sc.resolve(g)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		groupIdx = append(groupIdx, idx)
 	}
 
 	var specs []plan.AggSpec
-	outNames := make([]string, 0, len(stmt.Items))
-	aggNameByItem := make(map[int]string)
+	// Projection over the aggregate output (groups..., aggs...), in
+	// select-list order with aliases applied.
+	exprs := make([]expr.Expr, len(stmt.Items))
+	names := make([]string, len(stmt.Items))
+	kinds := make([]expr.Kind, len(stmt.Items))
 	for i, it := range stmt.Items {
 		switch {
 		case it.Star:
-			return nil, nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+			return fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
 		case it.Agg != "":
 			name := it.Alias
 			if name == "" {
@@ -254,91 +218,68 @@ func bindAgg(stmt *SelectStmt, input plan.Node, sc *scope) (plan.Node, *scope, e
 			if it.Expr != nil {
 				arg, err := bindExpr(it.Expr, sc)
 				if err != nil {
-					return nil, nil, err
+					return err
 				}
 				spec.Arg = arg
 			} else if spec.Func != plan.Count {
-				return nil, nil, fmt.Errorf("sql: %s requires an argument", it.Agg)
+				return fmt.Errorf("sql: %s requires an argument", it.Agg)
 			}
+			pos := len(groupIdx) + len(specs)
 			specs = append(specs, spec)
-			aggNameByItem[i] = name
-			outNames = append(outNames, name)
+			exprs[i] = expr.Col{Idx: pos, Name: name}
+			names[i] = name
+			kinds[i] = expr.KindFloat
+			if spec.Func == plan.Count {
+				kinds[i] = expr.KindInt
+			}
 		default:
 			col, ok := it.Expr.(ColRef)
 			if !ok {
-				return nil, nil, fmt.Errorf("sql: non-aggregate select item %s must be a grouping column", it.Expr)
+				return fmt.Errorf("sql: non-aggregate select item %s must be a grouping column", it.Expr)
 			}
 			idx, err := sc.resolve(col)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
-			found := false
-			for _, g := range groupIdx {
+			gpos := -1
+			for p, g := range groupIdx {
 				if g == idx {
-					found = true
+					gpos = p
 					break
 				}
 			}
-			if !found {
-				return nil, nil, fmt.Errorf("sql: column %s is not in GROUP BY", col)
+			if gpos < 0 {
+				return fmt.Errorf("sql: column %s is not in GROUP BY", col)
 			}
 			name := it.Alias
 			if name == "" {
 				name = col.Name
 			}
-			outNames = append(outNames, name)
+			exprs[i] = expr.Col{Idx: gpos, Name: name}
+			names[i] = name
+			kinds[i] = lg.ColKind(idx)
 		}
 	}
-
-	agg := plan.NewAgg(input, groupIdx, specs)
-	aggScope := &scope{schema: agg.Schema(), source: make([]string, agg.Schema().NumCols())}
-
-	// Project into select-list order (and aliases).
-	exprs := make([]expr.Expr, len(stmt.Items))
-	kinds := make([]expr.Kind, len(stmt.Items))
-	gi, ai := 0, 0
-	for i, it := range stmt.Items {
-		if it.Agg != "" {
-			pos := len(groupIdx) + ai
-			exprs[i] = expr.Col{Idx: pos, Name: aggNameByItem[i]}
-			kinds[i] = agg.Schema().Columns()[pos].Kind
-			ai++
-		} else {
-			pos := indexOfGroup(groupIdx, sc, it.Expr.(ColRef))
-			exprs[i] = expr.Col{Idx: pos, Name: outNames[i]}
-			kinds[i] = agg.Schema().Columns()[pos].Kind
-			gi++
-		}
+	if err := lg.SetAgg(groupIdx, specs); err != nil {
+		return err
 	}
-	proj := plan.NewProject(agg, exprs, outNames, kinds)
-	return proj, &scope{schema: proj.Schema(), source: make([]string, proj.Schema().NumCols())}, aggScopeErr(aggScope)
+	lg.Project = &plan.ProjectSpec{Exprs: exprs, Names: names, Kinds: kinds}
+	return nil
 }
 
-// aggScopeErr exists to keep the error signature simple; binding above
-// cannot fail at this point.
-func aggScopeErr(*scope) error { return nil }
-
-func indexOfGroup(groupIdx []int, sc *scope, col ColRef) int {
-	idx, _ := sc.resolve(col)
-	for gpos, g := range groupIdx {
-		if g == idx {
-			return gpos
-		}
-	}
-	return 0
-}
-
-func bindProject(items []SelectItem, input plan.Node, sc *scope) (plan.Node, *scope, error) {
+// bindProject binds a plain (non-aggregating) select list over the global
+// column space.
+func bindProject(items []SelectItem, lg *plan.Logical, sc *scope) error {
 	exprs := make([]expr.Expr, len(items))
 	names := make([]string, len(items))
 	kinds := make([]expr.Kind, len(items))
 	for i, it := range items {
 		if it.Star {
-			return nil, nil, fmt.Errorf("sql: * must be the only select item")
+			return fmt.Errorf("sql: * must be the only select item")
 		}
 		bound, err := bindExpr(it.Expr, sc)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		exprs[i] = bound
 		names[i] = it.Alias
@@ -351,8 +292,8 @@ func bindProject(items []SelectItem, input plan.Node, sc *scope) (plan.Node, *sc
 		}
 		kinds[i] = kindOf(it.Expr, sc)
 	}
-	p := plan.NewProject(input, exprs, names, kinds)
-	return p, &scope{schema: p.Schema(), source: make([]string, p.Schema().NumCols())}, nil
+	lg.Project = &plan.ProjectSpec{Exprs: exprs, Names: names, Kinds: kinds}
+	return nil
 }
 
 // kindOf infers a projected expression's output kind.
@@ -360,7 +301,7 @@ func kindOf(n Node, sc *scope) expr.Kind {
 	switch n := n.(type) {
 	case ColRef:
 		if idx, err := sc.resolve(n); err == nil {
-			return sc.schema.Columns()[idx].Kind
+			return sc.lg.ColKind(idx)
 		}
 		return expr.KindNull
 	case Lit:
@@ -391,7 +332,8 @@ func kindOf(n Node, sc *scope) expr.Kind {
 	}
 }
 
-// bindExpr lowers an AST expression against a scope.
+// bindExpr lowers an AST expression against a scope; column positions in
+// the result are global column ids.
 func bindExpr(n Node, sc *scope) (expr.Expr, error) {
 	switch n := n.(type) {
 	case ColRef:
@@ -528,17 +470,6 @@ func splitConjuncts(n Node) []Node {
 		return append(splitConjuncts(bo.L), splitConjuncts(bo.R)...)
 	}
 	return []Node{n}
-}
-
-func andWith(acc, e expr.Expr) expr.Expr {
-	if acc == nil {
-		return e
-	}
-	if a, ok := acc.(expr.And); ok {
-		a.Terms = append(a.Terms, e)
-		return a
-	}
-	return expr.And{Terms: []expr.Expr{acc, e}}
 }
 
 func toLower(s string) string {

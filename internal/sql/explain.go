@@ -1,0 +1,48 @@
+package sql
+
+import (
+	"fmt"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/opt"
+)
+
+// Explainer is the slice of an engine EXPLAIN needs: the tables to bind
+// against and the optimizer environment to cost candidate plans in.
+// *engine.Engine satisfies it.
+type Explainer interface {
+	Catalog() *catalog.Catalog
+	OptimizerEnv() (opt.Env, opt.Objective)
+}
+
+// IsExplain reports whether the statement parses as an EXPLAIN.
+func IsExplain(query string) bool {
+	stmt, err := Parse(query)
+	return err == nil && stmt.Explain
+}
+
+// Explain renders the physical plan the optimizer would choose for a
+// query — `EXPLAIN SELECT ...` or a bare SELECT — with per-operator
+// estimated rows, cycles and joules. On engines whose objective is
+// disabled the plan is costed under the latency objective, so EXPLAIN
+// works everywhere without changing what executes.
+func Explain(e Explainer, query string) (string, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return "", err
+	}
+	stmt.Explain = false
+	lg, err := BindLogical(e.Catalog(), stmt)
+	if err != nil {
+		return "", err
+	}
+	env, obj := e.OptimizerEnv()
+	if !obj.Enabled {
+		obj = opt.MinimizeLatency()
+	}
+	ch, err := opt.Optimize(lg, lg.DefaultChoices(), env, obj)
+	if err != nil {
+		return "", fmt.Errorf("sql: explain: %w", err)
+	}
+	return opt.Explain(lg, env, ch)
+}

@@ -12,10 +12,12 @@ func Parse(input string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.acceptKeyword("EXPLAIN")
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
 	// Optional trailing semicolon.
 	if p.peek().kind == tokSymbol && p.peek().text == ";" {
 		p.next()

@@ -121,6 +121,9 @@ func RunSequential(e *engine.Engine, clock *sim.Clock, queries []Query) RunResul
 func RunShared(e *engine.Engine, clock *sim.Clock, queries []Query) RunResult {
 	issue := clock.Now()
 	sess := e.NewSharedSession()
+	// The whole batch is co-admitted, so that is the concurrency the
+	// optimizer (when the profile enables one) costs shared attaches with.
+	sess.SetExpectedConcurrency(len(queries))
 	streams := make([]*engine.Rows, len(queries))
 	for i, q := range queries {
 		streams[i] = sess.Query(q.Plan)

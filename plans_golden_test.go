@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ecodb/internal/engine"
+	"ecodb/internal/hw/system"
+	"ecodb/internal/opt"
+	"ecodb/internal/sql"
+	"ecodb/internal/tpch"
+)
+
+// TestGoldenPlans pins the cost-and-energy optimizer's plan choices: the
+// EXPLAIN rendering of TPC-H Q5 under the latency and joules objectives,
+// and the access-path flip the joules objective makes when ten queries are
+// co-admitted on a shared session. Estimates and choices are deterministic
+// functions of the catalog statistics and cost constants, so any drift in
+// cardinality estimation, costing, or enumeration shows up here as a diff.
+func TestGoldenPlans(t *testing.T) {
+	const q5sql = `EXPLAIN SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM region
+		JOIN nation ON n_regionkey = r_regionkey
+		JOIN customer ON c_nationkey = n_nationkey
+		JOIN orders ON o_custkey = c_custkey
+		JOIN lineitem ON l_orderkey = o_orderkey
+		JOIN supplier ON s_suppkey = l_suppkey AND s_nationkey = c_nationkey
+		WHERE r_name = 'ASIA'
+		  AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01'
+		GROUP BY n_name ORDER BY revenue DESC`
+
+	mkEngine := func(obj opt.Objective) *engine.Engine {
+		prof := engine.ProfileCommercial()
+		prof.WorkAmplification = 20
+		prof.Objective = obj
+		e := engine.New(prof, system.NewSUT())
+		tpch.NewGenerator(0.01, 42).Load(e.Catalog(),
+			tpch.Region, tpch.Nation, tpch.Supplier, tpch.Customer, tpch.Orders, tpch.Lineitem)
+		e.WarmAll()
+		return e
+	}
+
+	var b strings.Builder
+	for _, obj := range []opt.Objective{opt.MinimizeLatency(), opt.MinimizeJoules()} {
+		e := mkEngine(obj)
+		out, err := sql.Explain(e, q5sql)
+		if err != nil {
+			t.Fatalf("explain under %s: %v", obj, err)
+		}
+		fmt.Fprintf(&b, "== EXPLAIN Q5, objective %s ==\n%s\n", obj, out)
+	}
+
+	// The shared-scan flip: with the whole ten-query Q5 batch co-admitted,
+	// the joules objective rides the shared pass while latency stays
+	// private.
+	e := mkEngine(opt.Objective{})
+	lg, base, err := opt.Extract(tpch.Q5(e.Catalog(), "ASIA", 1994))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := e.OptimizerEnv()
+	env.SharedConcurrency = 10
+	for _, obj := range []opt.Objective{opt.MinimizeLatency(), opt.MinimizeJoules()} {
+		ch, err := opt.Optimize(lg, base, env, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := opt.Explain(lg, env, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "== Q5 at shared concurrency 10, objective %s ==\n%s\n", obj, out)
+	}
+
+	checkGolden(t, "plans", b.String())
+}
