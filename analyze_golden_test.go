@@ -1,0 +1,108 @@
+// Golden + budget coverage for the observability layer: the EXPLAIN
+// ANALYZE profile of a Q5-shaped query is pinned byte for byte (rows,
+// estimate-vs-actual join-up, attributed joules and times are all
+// deterministic simulated quantities), and profiling's real wall-clock
+// overhead is measured against an unprofiled run of the same statement.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ecodb/internal/engine"
+	"ecodb/internal/hw/system"
+	"ecodb/internal/opt"
+	"ecodb/internal/sql"
+	"ecodb/internal/tpch"
+)
+
+const analyzeQ5 = `EXPLAIN ANALYZE SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+	FROM region
+	JOIN nation ON n_regionkey = r_regionkey
+	JOIN customer ON c_nationkey = n_nationkey
+	JOIN orders ON o_custkey = c_custkey
+	JOIN lineitem ON l_orderkey = o_orderkey
+	JOIN supplier ON s_suppkey = l_suppkey AND s_nationkey = c_nationkey
+	WHERE r_name = 'ASIA'
+	  AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01'
+	GROUP BY n_name ORDER BY revenue DESC`
+
+// TestGoldenAnalyze pins the EXPLAIN ANALYZE rendering of TPC-H Q5 under
+// the latency objective (optimized path: every operator carries the
+// optimizer's estimate next to its actuals) and on the hand-lowered path
+// (objective disabled). Any drift in operator instrumentation, joule
+// attribution, or the estimate join-up shows up here as a byte diff.
+func TestGoldenAnalyze(t *testing.T) {
+	mkEngine := func(obj opt.Objective) *engine.Engine {
+		prof := engine.ProfileCommercial()
+		prof.Objective = obj
+		e := engine.New(prof, system.NewSUT())
+		tpch.NewGenerator(0.01, 42).Load(e.Catalog(),
+			tpch.Region, tpch.Nation, tpch.Supplier, tpch.Customer, tpch.Orders, tpch.Lineitem)
+		e.WarmAll()
+		return e
+	}
+
+	var b strings.Builder
+	for _, tc := range []struct {
+		name string
+		obj  opt.Objective
+	}{
+		{"latency objective (optimized, estimates attached)", opt.MinimizeLatency()},
+		{"objective disabled (hand-lowered)", opt.Objective{}},
+	} {
+		out, err := sql.ExplainAnalyze(mkEngine(tc.obj), analyzeQ5)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		fmt.Fprintf(&b, "== EXPLAIN ANALYZE Q5, %s ==\n%s\n", tc.name, out)
+	}
+	checkGolden(t, "analyze", b.String())
+}
+
+// BenchmarkProfileOverhead measures the real wall-clock cost of profiling
+// a statement: TPC-H Q5 executed with profiling off and on, min-of-reps so
+// scheduler noise cancels. The budget is <5% — instrumentation is a
+// per-batch span push/pop and a handful of float adds against the
+// simulated-arithmetic-heavy executor, so the overhead must stay in the
+// noise. The benchmark fails when the budget is exceeded.
+func BenchmarkProfileOverhead(b *testing.B) {
+	m := system.NewSUT()
+	e := engine.New(engine.ProfileMySQLMemory(), m)
+	tpch.NewGenerator(0.01, 42).Load(e.Catalog(),
+		tpch.Region, tpch.Nation, tpch.Supplier, tpch.Customer, tpch.Orders, tpch.Lineitem)
+	q5 := tpch.Q5(e.Catalog(), "ASIA", 1994)
+
+	const reps = 7
+	best := func(profiling bool) time.Duration {
+		e.SetProfiling(profiling)
+		min := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			e.Query(q5).Close()
+			if d := time.Since(t0); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	best(false) // warm code paths and allocator before measuring
+
+	b.ResetTimer()
+	var off, on time.Duration
+	for i := 0; i < b.N; i++ {
+		off = best(false)
+		on = best(true)
+	}
+	b.StopTimer()
+
+	overhead := 100 * (float64(on)/float64(off) - 1)
+	b.ReportMetric(overhead, "overhead-%")
+	b.Logf("profiling off %v, on %v, overhead %.2f%%", off, on, overhead)
+	if overhead >= 5 {
+		b.Fatalf("profiling overhead %.2f%% exceeds the 5%% budget (off %v, on %v)",
+			overhead, off, on)
+	}
+}

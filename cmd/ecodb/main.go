@@ -10,10 +10,11 @@
 //
 // Flags:
 //
-//	-sf float     generated TPC-H scale factor override
-//	-amp float    work amplification override (SF×amp = paper-equivalent SF)
-//	-runs int     measurement repetitions per point (default: paper's 5)
-//	-seed uint    data-generation seed
+//	-sf float       generated TPC-H scale factor override
+//	-amp float      work amplification override (SF×amp = paper-equivalent SF)
+//	-runs int       measurement repetitions per point (default: paper's 5)
+//	-seed uint      data-generation seed
+//	-metrics string dump the engine metrics registry after all runs (text/json)
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"ecodb/internal/experiments"
+	"ecodb/internal/obsv"
 )
 
 var (
@@ -35,6 +37,7 @@ var (
 	flagParallel = flag.Bool("parallel-agg", true, "run the treated arm of the parallelagg experiment with worker goroutines (false = control arm: both arms serial)")
 	flagZoneMaps = flag.Bool("zone-maps", true, "enable zone-map page pruning in the compression experiment's treated arm")
 	flagDict     = flag.Bool("dict-strings", true, "enable dictionary-encoded string columns in the compression experiment's treated arm")
+	flagMetrics  = flag.String("metrics", "", "dump the engine metrics registry after all experiments: text or json")
 )
 
 func main() {
@@ -55,6 +58,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := dumpMetrics(*flagMetrics); err != nil {
+		fmt.Fprintln(os.Stderr, "ecodb:", err)
+		os.Exit(1)
+	}
+}
+
+// dumpMetrics prints the process-wide metrics registry — every engine the
+// experiments built shares it — in the requested format.
+func dumpMetrics(format string) error {
+	switch format {
+	case "":
+		return nil
+	case "text":
+		fmt.Println("engine metrics:")
+		fmt.Print(obsv.Default().Snapshot().Text())
+	case "json":
+		fmt.Print(obsv.Default().Snapshot().JSON())
+	default:
+		return fmt.Errorf("unknown -metrics format %q (want text or json)", format)
+	}
+	return nil
 }
 
 func usage() {

@@ -44,10 +44,29 @@ func main() {
 		 WHERE r_name = 'AMERICA'
 		   AND o_orderdate >= DATE '1995-01-01' AND o_orderdate < DATE '1996-01-01'
 		 GROUP BY n_name ORDER BY revenue DESC`,
+		`EXPLAIN ANALYZE SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		 FROM region
+		 JOIN nation ON n_regionkey = r_regionkey
+		 JOIN customer ON c_nationkey = n_nationkey
+		 JOIN orders ON o_custkey = c_custkey
+		 JOIN lineitem ON l_orderkey = o_orderkey
+		 JOIN supplier ON s_suppkey = l_suppkey AND s_nationkey = c_nationkey
+		 WHERE r_name = 'AMERICA'
+		   AND o_orderdate >= DATE '1995-01-01' AND o_orderdate < DATE '1996-01-01'
+		 GROUP BY n_name ORDER BY revenue DESC`,
 	}
 
 	for i, q := range script {
 		fmt.Printf("ecodb> statement %d\n", i+1)
+		if sql.IsExplainAnalyze(q) {
+			out, err := sql.ExplainAnalyze(e, q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(out)
+			continue
+		}
 		if sql.IsExplain(q) {
 			out, err := sql.Explain(e, q)
 			if err != nil {

@@ -20,11 +20,11 @@ import (
 
 	"ecodb/internal/core"
 	"ecodb/internal/engine"
-	"ecodb/internal/exec"
 	"ecodb/internal/experiments"
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
 	"ecodb/internal/mqo"
+	"ecodb/internal/obsv"
 	"ecodb/internal/tpch"
 	"ecodb/internal/workload"
 )
@@ -195,14 +195,14 @@ func TestGoldenCompression(t *testing.T) {
 		stats.RowsOut, stats.BytesOut, fexact(float64(stats.Duration)))
 	fmtRows(&b, res.Rows)
 
-	exec.ResetPrunedPages()
+	pruned0 := obsv.PagesPruned.Load()
 	queries := workload.NewQueries("comp", tpch.CompressionWorkload(sys.Engine.Catalog(), 0.02, 8))
 	clock := sys.Machine.Clock
 	trace := sys.Machine.CPU.Trace()
 	t0 := clock.Now()
 	run := workload.RunSequential(sys.Engine, clock, queries)
 	fmt.Fprintf(&b, "energy=%s pruned=%d\n",
-		fexact(float64(trace.Energy(t0, clock.Now()))), exec.PrunedPages())
+		fexact(float64(trace.Energy(t0, clock.Now()))), obsv.PagesPruned.Load()-pruned0)
 	fmtRunResult(&b, "compressed", run)
 
 	checkGolden(t, "compression", b.String())

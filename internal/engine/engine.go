@@ -8,6 +8,7 @@ import (
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
 	"ecodb/internal/hw/disk"
+	"ecodb/internal/obsv"
 	"ecodb/internal/plan"
 	"ecodb/internal/sim"
 	"ecodb/internal/storage"
@@ -36,6 +37,10 @@ type Engine struct {
 	cat  *catalog.Catalog
 	pool *storage.BufferPool
 	rng  *sim.RNG
+	// profiling enables per-query execution profiles (see Rows.Profile).
+	// Simulated results, durations, and joules are byte-identical either
+	// way: the profiler only observes the charges the engine already makes.
+	profiling bool
 }
 
 // Machine is the slice of the simulated system an engine needs: a CPU to
@@ -98,6 +103,16 @@ func (r *reader) BlockingRead(n int64, sequential bool) {
 // Profile returns the engine's configuration.
 func (e *Engine) Profile() Profile { return e.prof }
 
+// SetProfiling toggles per-query execution profiles. When on, every
+// statement's Rows carries a Profile — an operator-span tree with actual
+// rows, attributed simulated joules and time, and (for optimizer-routed
+// statements) the estimates next to the actuals. Profiling never changes
+// what the simulation computes; it only watches it.
+func (e *Engine) SetProfiling(on bool) { e.profiling = on }
+
+// Profiling reports whether per-query profiles are being collected.
+func (e *Engine) Profiling() bool { return e.profiling }
+
 // Catalog returns the table registry; loaders insert data through it.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
@@ -142,6 +157,19 @@ type Rows struct {
 	bytesOut   int64
 	stats      ExecStats
 	finished   bool
+
+	// obs collects this statement's execution profile when the engine has
+	// profiling enabled; profile is the finalized result (see Profile).
+	obs     *obsv.Collector
+	profile *obsv.Profile
+}
+
+// Profile returns the statement's execution profile, draining the stream
+// first if the consumer has not. It returns nil when the engine was not
+// profiling at statement start.
+func (r *Rows) Profile() *obsv.Profile {
+	r.Close()
+	return r.profile
 }
 
 // Query starts executing a plan and returns a streaming result iterator.
@@ -152,8 +180,8 @@ func (e *Engine) Query(p plan.Node) *Rows {
 	// With an objective enabled, re-derive the plan through the optimizer
 	// (join order, build sides, pushdown, parallelism); plans the extractor
 	// does not recognize fall back to executing as given.
-	if lowered, ch, ok := e.optimize(p, 0); ok {
-		return e.startQueryPar(exec.CompileParallel(lowered, e.prof.Workers), ch.Parallelism)
+	if lowered, ch, pi, ok := e.optimize(p, 0); ok {
+		return e.startQueryPar(exec.CompileParallel(lowered, e.prof.Workers), ch.Parallelism, pi)
 	}
 	// Eligible scan→filter→project fragments run morsel-parallel across
 	// the profile's worker goroutines; CompileParallel falls back to the
@@ -166,15 +194,18 @@ func (e *Engine) Query(p plan.Node) *Rows {
 // opens op as a streaming result — the shared tail of Query and the
 // shared-scan admission path (see SharedSession).
 func (e *Engine) startQuery(op exec.Operator) *Rows {
-	return e.startQueryPar(op, e.prof.Parallelism)
+	return e.startQueryPar(op, e.prof.Parallelism, nil)
 }
 
 // startQueryPar is startQuery at an explicit parallelism degree — the
-// optimizer's chosen degree when a statement routes through it.
-func (e *Engine) startQueryPar(op exec.Operator, par int) *Rows {
+// optimizer's chosen degree when a statement routes through it. pi is the
+// optimizer's estimate record for the profile, nil when the statement did
+// not route through the optimizer or profiling is off.
+func (e *Engine) startQueryPar(op exec.Operator, par int, pi *obsv.PlanInfo) *Rows {
 	if par < 1 {
 		par = 1
 	}
+	obsv.Queries.Inc()
 	c := e.mach.CPUModel()
 	c.SetParallelism(par)
 	// The machine is single-threaded between pulls: parallelism is raised
@@ -186,11 +217,23 @@ func (e *Engine) startQueryPar(op exec.Operator, par int) *Rows {
 	if e.pool != nil {
 		r.poolBefore = e.pool.Stats()
 	}
+	if e.profiling {
+		r.obs = obsv.NewCollector("statement", r.start)
+		if pi != nil {
+			r.obs.SetPlan(pi)
+		}
+		// The observer is installed only while this statement's work runs
+		// (bracketed here and in Next, exactly like parallelism), so
+		// co-admitted queries interleaving pulls on one machine each
+		// observe only their own clock advances.
+		c.SetObserver(r.obs)
+		defer c.SetObserver(nil)
+	}
 
 	// Statement overhead: parse, optimize, round trip.
 	c.Run(e.prof.QueryOverheadCycles, cpu.Compute)
 
-	ctx := &exec.Ctx{CPU: c, Pool: e.pool, Cost: e.prof.Cost, Amplify: e.prof.Amplification(), BatchSize: e.prof.BatchSize}
+	ctx := &exec.Ctx{CPU: c, Pool: e.pool, Cost: e.prof.Cost, Amplify: e.prof.Amplification(), BatchSize: e.prof.BatchSize, Obs: r.obs}
 	if e.prof.BGIOProbPerPage > 0 && !e.prof.MemoryEngine {
 		// Amplified page counts mean amplified background traffic.
 		prob := e.prof.BGIOProbPerPage * e.prof.Amplification()
@@ -223,6 +266,10 @@ func (r *Rows) Next() (*expr.Batch, error) {
 	c := r.e.mach.CPUModel()
 	c.SetParallelism(r.par)
 	defer c.SetParallelism(1)
+	if r.obs != nil {
+		c.SetObserver(r.obs)
+		defer c.SetObserver(nil)
+	}
 	b, err := r.op.Next(r.ctx)
 	if err != nil {
 		r.finish()
@@ -232,7 +279,9 @@ func (r *Rows) Next() (*expr.Batch, error) {
 		r.finish()
 		return nil, nil
 	}
+	obsv.Batches.Inc()
 	n := b.Len()
+	obsv.RowsOut.Add(int64(n))
 	r.rowsOut += int64(n)
 	for li := 0; li < n; li++ {
 		r.bytesOut += b.RowBytes(li)
@@ -270,6 +319,12 @@ func (r *Rows) finish() {
 	r.op.Close(r.ctx)
 
 	e, ctx := r.e, r.ctx
+	c := e.mach.CPUModel()
+	if r.obs != nil {
+		// The result path gets its own span so its charges do not land on
+		// the statement root undifferentiated.
+		r.obs.OpenSpan(obsv.KindResult, "Result", "", c.Clock().Now())
+	}
 	n := float64(r.rowsOut)
 	ctx.Charge(cpu.Stream, e.prof.Cost.ResultRowCycles*n)
 	ctx.Charge(cpu.Stream, e.prof.Cost.ResultKBCycles*float64(r.bytesOut)/1024)
@@ -277,13 +332,20 @@ func (r *Rows) finish() {
 	ctx.Charge(cpu.MemStall, e.prof.Cost.ClientRowCycles*n*gc)
 	ctx.Flush()
 
-	c := e.mach.CPUModel()
+	end := c.Clock().Now()
+	if r.obs != nil {
+		r.obs.Pop(end)
+		r.obs.Root().Rows = r.rowsOut
+		r.profile = r.obs.Finish(end)
+	}
 	c.SetParallelism(1)
 	r.stats = ExecStats{
-		Duration: c.Clock().Now().Sub(r.start),
+		Duration: end.Sub(r.start),
 		RowsOut:  r.rowsOut,
 		BytesOut: r.bytesOut,
 	}
+	obsv.QuerySeconds.Observe(r.stats.Duration.Seconds())
+	obsv.QueryJoules(e.prof.Objective.String()).Add(float64(c.Trace().Energy(r.start, end)))
 	if e.pool != nil {
 		after := e.pool.Stats()
 		r.stats.PoolHits = after.Hits - r.poolBefore.Hits

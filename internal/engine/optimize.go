@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"time"
+
+	"ecodb/internal/obsv"
 	"ecodb/internal/opt"
 	"ecodb/internal/plan"
 )
@@ -32,22 +35,44 @@ func (e *Engine) optEnv(sharedQ int) opt.Env {
 // optimize re-plans p under the profile's objective. ok is false when the
 // objective is disabled or the plan cannot be optimized (unrecognized
 // shape, no statistics, no admissible lowering) — callers then execute p
-// exactly as handed in, so optimization can never lose a query.
-func (e *Engine) optimize(p plan.Node, sharedQ int) (plan.Node, *opt.Choice, bool) {
+// exactly as handed in, so optimization can never lose a query. With
+// profiling enabled the returned PlanInfo carries the winning choice's
+// whole-plan and per-operator estimates for the profile's
+// estimate-vs-actual join-up; it is nil otherwise.
+func (e *Engine) optimize(p plan.Node, sharedQ int) (plan.Node, *opt.Choice, *obsv.PlanInfo, bool) {
 	if !e.prof.Objective.Enabled {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	lg, base, err := opt.Extract(p)
 	if err != nil {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	ch, err := opt.Optimize(lg, base, e.optEnv(sharedQ), e.prof.Objective)
+	env := e.optEnv(sharedQ)
+	t0 := time.Now()
+	ch, err := opt.Optimize(lg, base, env, e.prof.Objective)
+	obsv.PlanningSeconds.Observe(time.Since(t0).Seconds())
 	if err != nil {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	lowered, err := lg.Lower(ch.Phys)
 	if err != nil {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return lowered, ch, true
+	var pi *obsv.PlanInfo
+	if e.profiling {
+		access := "private-scan"
+		if ch.Shared {
+			access = "shared-scan"
+		}
+		pi = &obsv.PlanInfo{
+			Objective:   ch.Objective.String(),
+			Parallelism: ch.Parallelism,
+			Access:      access,
+			EstSeconds:  ch.EstSeconds,
+			EstJoules:   ch.EstJoules,
+			EstRows:     ch.EstRows,
+			Ops:         opt.OperatorEstimates(lg, env, ch),
+		}
+	}
+	return lowered, ch, pi, true
 }

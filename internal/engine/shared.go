@@ -62,11 +62,11 @@ func (s *SharedSession) Query(p plan.Node) *Rows {
 	// streaming across the expected concurrency (energy down) while
 	// stretching per-query response as the queries time-share the machine.
 	// Choice.Shared selects which leaf compilation the statement gets.
-	if lowered, ch, ok := s.e.optimize(p, s.ExpectedConcurrency()); ok {
+	if lowered, ch, pi, ok := s.e.optimize(p, s.ExpectedConcurrency()); ok {
 		if ch.Shared {
-			return s.e.startQueryPar(exec.CompileLeaf(lowered, s.sharedLeaf), ch.Parallelism)
+			return s.e.startQueryPar(exec.CompileLeaf(lowered, s.sharedLeaf), ch.Parallelism, pi)
 		}
-		return s.e.startQueryPar(exec.CompileParallel(lowered, s.e.prof.Workers), ch.Parallelism)
+		return s.e.startQueryPar(exec.CompileParallel(lowered, s.e.prof.Workers), ch.Parallelism, pi)
 	}
 	return s.e.startQuery(exec.CompileLeaf(p, s.sharedLeaf))
 }

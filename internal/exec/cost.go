@@ -8,6 +8,7 @@ package exec
 import (
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
+	"ecodb/internal/obsv"
 	"ecodb/internal/storage"
 )
 
@@ -97,6 +98,13 @@ type Ctx struct {
 	// expr.DefaultBatchCapacity.
 	BatchSize int
 
+	// Obs, when non-nil, receives a copy of every charge tagged with the
+	// operator span that made it — the per-query profile collector. All
+	// observation sites are guarded by a nil check, so a disabled profile
+	// costs one branch and allocates nothing; and the collector only ever
+	// reads, so simulated results and charges are identical either way.
+	Obs *obsv.Collector
+
 	acc [3]float64 // indexed by cpu.WorkKind
 }
 
@@ -117,7 +125,11 @@ func (c *Ctx) amp() float64 {
 
 // Charge accumulates cycles of the given kind.
 func (c *Ctx) Charge(kind cpu.WorkKind, cycles float64) {
-	c.acc[kind] += cycles * c.amp()
+	a := cycles * c.amp()
+	c.acc[kind] += a
+	if c.Obs != nil {
+		c.Obs.Charge(int(kind), a)
+	}
 }
 
 // ChargeExpr drains an expression cost meter into compute work, scaled by
@@ -127,7 +139,11 @@ func (c *Ctx) ChargeExpr(m *expr.Cost) {
 	if mult == 0 {
 		mult = 1
 	}
-	c.acc[cpu.Compute] += m.Drain() * mult * c.amp()
+	a := m.Drain() * mult * c.amp()
+	c.acc[cpu.Compute] += a
+	if c.Obs != nil {
+		c.Obs.Charge(int(cpu.Compute), a)
+	}
 }
 
 // chargePageStream charges the physical-read side of surfacing one heap
@@ -139,6 +155,9 @@ func (c *Ctx) ChargeExpr(m *expr.Cost) {
 func (c *Ctx) chargePageStream(bytes int64) {
 	if c.PageHook != nil {
 		c.PageHook()
+	}
+	if c.Obs != nil {
+		c.Obs.PageRead(bytes)
 	}
 	c.Charge(cpu.Stream, c.Cost.PageStreamCyclesPerKB*float64(bytes)/1024)
 }

@@ -9,6 +9,7 @@ import (
 	"ecodb/internal/catalog"
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
+	"ecodb/internal/obsv"
 	"ecodb/internal/plan"
 	"ecodb/internal/storage"
 )
@@ -114,7 +115,10 @@ func (s *scanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 				ctx.chargeZoneCheck()
 				if len(zones) > 0 && expr.ZonePrunes(s.pruner, zones) {
 					s.scan.Skip()
-					prunedPages.Add(1)
+					obsv.PagesPruned.Inc()
+					if ctx.Obs != nil {
+						ctx.Obs.PagePruned()
+					}
 					continue
 				}
 			}

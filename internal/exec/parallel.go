@@ -2,10 +2,12 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"ecodb/internal/catalog"
 	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
 	"ecodb/internal/plan"
 	"ecodb/internal/storage"
 )
@@ -43,38 +45,53 @@ func CompileParallel(n plan.Node, workers int) Operator {
 func compile(n plan.Node, workers int, leaf ScanLeaf) Operator {
 	if leaf == nil && workers > 1 {
 		if f, ok := planFragment(n); ok {
-			return &morselExec{frag: f, workers: workers}
+			return wrapSpan(&morselExec{frag: f, workers: workers}, obsv.KindScan,
+				fmt.Sprintf("MorselScan(%s x%d)", f.table.Name, workers), f.table.Name)
 		}
 	}
 	switch n := n.(type) {
 	case *plan.Scan:
 		if leaf != nil {
-			return leaf(n)
+			op := leaf(n)
+			label := fmt.Sprintf("Scan(%s)", n.Table.Name)
+			if _, shared := op.(*sharedScanOp); shared {
+				label = fmt.Sprintf("SharedScan(%s)", n.Table.Name)
+			}
+			return wrapSpan(op, obsv.KindScan, label, n.Table.Name)
 		}
-		return &scanOp{table: n.Table, filter: n.Filter}
+		return wrapSpan(&scanOp{table: n.Table, filter: n.Filter}, obsv.KindScan,
+			fmt.Sprintf("Scan(%s)", n.Table.Name), n.Table.Name)
 	case *plan.Filter, *plan.Project:
 		return compileFused(n, workers, leaf)
 	case *plan.HashJoin:
-		return &hashJoinOp{
+		j := &hashJoinOp{
 			build: compile(n.Build, workers, leaf), probe: compile(n.Probe, workers, leaf),
 			buildKey: n.BuildKey, probeKey: n.ProbeKey,
 			residual: n.Residual, schema: n.Schema(),
 			workers: workers,
 		}
+		return wrapSpan(j, obsv.KindJoin, fmt.Sprintf("HashJoin(%s = %s)",
+			n.Build.Schema().Columns()[n.BuildKey].Name,
+			n.Probe.Schema().Columns()[n.ProbeKey].Name), "")
 	case *plan.Agg:
+		label := fmt.Sprintf("Agg(groups=%d aggs=%d)", len(n.GroupBy), len(n.Aggs))
 		if leaf == nil && workers > 1 {
 			if f, ok := planFragment(n.Input); ok {
 				// The aggregation boundary joins the fragment: workers
 				// pre-aggregate their morsels instead of serializing every
 				// surviving row through a downstream aggOp.
-				return newParallelAgg(f, n, workers)
+				return wrapSpan(newParallelAgg(f, n, workers), obsv.KindAgg,
+					fmt.Sprintf("ParallelAgg(%s x%d)", f.table.Name, workers), f.table.Name)
 			}
 		}
-		return &aggOp{input: compile(n.Input, workers, leaf), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
+		a := &aggOp{input: compile(n.Input, workers, leaf), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
+		return wrapSpan(a, obsv.KindAgg, label, "")
 	case *plan.Sort:
-		return &sortOp{input: compile(n.Input, workers, leaf), keys: n.Keys}
+		return wrapSpan(&sortOp{input: compile(n.Input, workers, leaf), keys: n.Keys},
+			obsv.KindSort, fmt.Sprintf("Sort(keys=%d)", len(n.Keys)), "")
 	case *plan.Limit:
-		return &limitOp{input: compile(n.Input, workers, leaf), n: n.N}
+		return wrapSpan(&limitOp{input: compile(n.Input, workers, leaf), n: n.N},
+			obsv.KindLimit, fmt.Sprintf("Limit(%d)", n.N), "")
 	default:
 		panic(fmt.Sprintf("exec: cannot compile %T", n))
 	}
@@ -107,7 +124,7 @@ walk:
 		stages[len(stages)-1-i] = st
 	}
 	input := compile(cur, workers, leaf)
-	if sc, ok := input.(*scanOp); ok {
+	if sc, ok := unwrapSpan(input).(*scanOp); ok {
 		// Push the chain's leading filter predicates (every stage before
 		// the first projection — they still reference the scan schema) down
 		// to the scan's prune decision. Filtering itself stays where it is;
@@ -124,7 +141,16 @@ walk:
 		}
 		sc.prune = conjoinPrune(terms)
 	}
-	return &fusedOp{input: input, stages: stages, schema: schema}
+	names := make([]string, len(stages))
+	for i, st := range stages {
+		if st.pred != nil {
+			names[i] = "filter"
+		} else {
+			names[i] = "project"
+		}
+	}
+	return wrapSpan(&fusedOp{input: input, stages: stages, schema: schema},
+		obsv.KindFused, fmt.Sprintf("Fused(%s)", strings.Join(names, ",")), "")
 }
 
 // fragStage is one worker-side stage of a fragment: a filter predicate or
@@ -401,7 +427,10 @@ func replayMorselPage(ctx *Ctx, table string, res *morselResult, pruning bool) {
 		ctx.chargeZoneCheck()
 	}
 	if res.pruned {
-		prunedPages.Add(1)
+		obsv.PagesPruned.Inc()
+		if ctx.Obs != nil {
+			ctx.Obs.PagePruned()
+		}
 		return
 	}
 	if ctx.Pool != nil {

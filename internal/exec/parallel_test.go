@@ -250,8 +250,8 @@ func TestParallelAggEarlyCloseStopsWorkers(t *testing.T) {
 	p := plan.NewAgg(plan.NewScan(gt, nil), []int{0},
 		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
 	op := CompileParallel(p, 4)
-	if _, ok := op.(*parallelAggOp); !ok {
-		t.Fatalf("compiled to %T, want parallel agg", op)
+	if _, ok := unwrapSpan(op).(*parallelAggOp); !ok {
+		t.Fatalf("compiled to %T, want parallel agg", unwrapSpan(op))
 	}
 	if err := op.Open(ctx); err != nil {
 		t.Fatal(err)
@@ -294,35 +294,35 @@ func TestCompileParallelFoldsFragments(t *testing.T) {
 			expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(10)}}),
 		[]expr.Expr{k}, []string{"k"}, []expr.Kind{expr.KindInt})
 
-	if _, ok := CompileParallel(chain, 4).(*morselExec); !ok {
+	if _, ok := unwrapSpan(CompileParallel(chain, 4)).(*morselExec); !ok {
 		t.Fatal("scan→filter→project chain should fold into one morsel operator")
 	}
-	if _, ok := CompileParallel(chain, 1).(*morselExec); ok {
+	if _, ok := unwrapSpan(CompileParallel(chain, 1)).(*morselExec); ok {
 		t.Fatal("workers=1 must fall back to the serial operators")
 	}
 	// An agg over a fragment absorbs it: workers pre-aggregate morsels.
 	agg := plan.NewAgg(chain, nil, []plan.AggSpec{{Func: plan.Count, Name: "c"}})
-	if _, ok := CompileParallel(agg, 4).(*parallelAggOp); !ok {
-		t.Fatalf("agg over fragment compiled to %T, want parallel agg", CompileParallel(agg, 4))
+	if _, ok := unwrapSpan(CompileParallel(agg, 4)).(*parallelAggOp); !ok {
+		t.Fatalf("agg over fragment compiled to %T, want parallel agg", unwrapSpan(CompileParallel(agg, 4)))
 	}
-	if _, ok := CompileParallel(agg, 1).(*aggOp); !ok {
-		t.Fatalf("workers=1 agg compiled to %T, want the serial operator", CompileParallel(agg, 1))
+	if _, ok := unwrapSpan(CompileParallel(agg, 1)).(*aggOp); !ok {
+		t.Fatalf("workers=1 agg compiled to %T, want the serial operator", unwrapSpan(CompileParallel(agg, 1)))
 	}
 
 	// An agg over a non-fragment input stays serial; the chain below the
 	// blocking input still folds into a morsel leaf.
 	overLimit := plan.NewAgg(plan.NewLimit(chain, 5), nil,
 		[]plan.AggSpec{{Func: plan.Count, Name: "c"}})
-	root, ok := CompileParallel(overLimit, 4).(*aggOp)
+	root, ok := unwrapSpan(CompileParallel(overLimit, 4)).(*aggOp)
 	if !ok {
-		t.Fatalf("agg over limit compiled to %T", CompileParallel(overLimit, 4))
+		t.Fatalf("agg over limit compiled to %T", unwrapSpan(CompileParallel(overLimit, 4)))
 	}
-	lim, ok := root.input.(*limitOp)
+	lim, ok := unwrapSpan(root.input).(*limitOp)
 	if !ok {
-		t.Fatalf("agg input compiled to %T, want limit", root.input)
+		t.Fatalf("agg input compiled to %T, want limit", unwrapSpan(root.input))
 	}
-	if _, ok := lim.input.(*morselExec); !ok {
-		t.Fatalf("limit input compiled to %T, want morsel fragment", lim.input)
+	if _, ok := unwrapSpan(lim.input).(*morselExec); !ok {
+		t.Fatalf("limit input compiled to %T, want morsel fragment", unwrapSpan(lim.input))
 	}
 }
 

@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"sync/atomic"
-
 	"ecodb/internal/expr"
 )
 
@@ -42,15 +40,9 @@ func conjoinPrune(terms []expr.Expr) expr.Expr {
 	}
 }
 
-// prunedPages counts pages skipped by zone-map pruning across all scans
-// since the last reset — the ablation's "pages pruned" readout. Atomic
-// because morsel coordinators and cooperative shared passes may interleave
-// with callers reading it.
-var prunedPages atomic.Int64
-
-// PrunedPages returns the pages skipped by zone-map pruning since the last
-// ResetPrunedPages.
-func PrunedPages() int64 { return prunedPages.Load() }
-
-// ResetPrunedPages zeroes the pruned-page counter.
-func ResetPrunedPages() { prunedPages.Store(0) }
+// Pages skipped by zone-map pruning are counted in the process-wide
+// metrics registry (obsv.PagesPruned) — once per physical skip: per page
+// for private scans and morsel fragments, once per pass step for shared
+// scans regardless of how many consumers observe the skip. Callers that
+// used the old PrunedPages/ResetPrunedPages pair read snapshot deltas of
+// obsv.PagesPruned instead.

@@ -6,6 +6,7 @@ import (
 
 	"ecodb/internal/catalog"
 	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
 	"ecodb/internal/plan"
 	"ecodb/internal/scanshare"
 )
@@ -141,16 +142,16 @@ func TestScanPrunesPages(t *testing.T) {
 	p := plan.NewScan(tb, expr.Between{E: tb.Schema.Col("k"), Lo: expr.Int(800), Hi: expr.Int(1100)})
 
 	expr.SetZoneMapPruning(false)
-	ResetPrunedPages()
+	before := obsv.PagesPruned.Load()
 	off := runWorkers(t, p, 1, true)
-	if got := PrunedPages(); got != 0 {
-		t.Fatalf("pruning off: counter = %d, want 0", got)
+	if got := obsv.PagesPruned.Load() - before; got != 0 {
+		t.Fatalf("pruning off: counter delta = %d, want 0", got)
 	}
 
 	expr.SetZoneMapPruning(true)
-	ResetPrunedPages()
+	before = obsv.PagesPruned.Load()
 	on := runWorkers(t, p, 1, true)
-	pruned := PrunedPages()
+	pruned := obsv.PagesPruned.Load() - before
 	if pruned == 0 {
 		t.Fatal("pruning on: no pages pruned on a clustered range scan")
 	}

@@ -65,7 +65,10 @@ func (s *sharedScanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 			ctx.chargeZoneCheck()
 		}
 		if pruned {
-			prunedPages.Add(1)
+			// Not counted in the global pruned-pages metric: the pass's
+			// physical skip was already counted once, by the coordinator,
+			// when it advanced past the page. This consumer merely observed
+			// the skip; its view of it lands on the span via PagesPruned().
 			continue
 		}
 		// Per-consumer charges: every query interprets the tuples itself.
@@ -83,8 +86,18 @@ func (s *sharedScanOp) Next(ctx *Ctx) (*expr.Batch, error) {
 	}
 }
 
-func (s *sharedScanOp) Close(*Ctx) error {
+func (s *sharedScanOp) Close(ctx *Ctx) error {
 	if s.cons != nil {
+		if ctx.Obs != nil {
+			// Fill the span's shared-pass detail before detaching: where
+			// this consumer entered the circular pass, how many surfaced
+			// pages it saw, and how many pass steps it skipped as pruned.
+			sp := ctx.Obs.Cur()
+			sp.Shared = true
+			sp.SharedEntry = s.cons.Entry()
+			sp.SharedSeen = s.cons.PagesSeen()
+			sp.SharedPruned = s.cons.PagesPruned()
+		}
 		s.cons.Close()
 		s.cons = nil
 	}

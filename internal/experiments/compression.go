@@ -8,8 +8,8 @@ import (
 	"ecodb/internal/core"
 	"ecodb/internal/energy"
 	"ecodb/internal/engine"
-	"ecodb/internal/exec"
 	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
 	"ecodb/internal/sim"
 	"ecodb/internal/tpch"
 	"ecodb/internal/workload"
@@ -83,7 +83,7 @@ func Compression(cfg Config, zoneMaps, dictStrings bool) CompressionResult {
 			tpch.CompressionWorkload(sys.Engine.Catalog(), cfg.SF, CompressionBands))
 		res.Queries = len(queries)
 
-		exec.ResetPrunedPages()
+		pruned0 := obsv.PagesPruned.Load()
 		for rep := 0; rep < runs; rep++ {
 			t0 := clock.Now()
 			w0 := time.Now()
@@ -95,7 +95,7 @@ func Compression(cfg Config, zoneMaps, dictStrings bool) CompressionResult {
 			if rep == 0 {
 				simT = clock.Now().Sub(t0)
 				perQ = energy.PerQuery(trace.Energy(t0, clock.Now()), len(queries))
-				pruned = exec.PrunedPages()
+				pruned = obsv.PagesPruned.Load() - pruned0
 				for _, q := range r.Queries {
 					rows = append(rows, q.Rows)
 				}

@@ -9,6 +9,7 @@ import (
 	"ecodb/internal/engine"
 	"ecodb/internal/meter"
 	"ecodb/internal/mqo"
+	"ecodb/internal/obsv"
 	"ecodb/internal/sim"
 	"ecodb/internal/tpch"
 	"ecodb/internal/workload"
@@ -67,7 +68,6 @@ func SharedScans(cfg Config, enabled bool) SharedScanResult {
 	sys.Engine.WarmAll()
 	clock := sys.Machine.Clock
 	trace := sys.Machine.CPU.Trace()
-	pool := sys.Engine.Pool()
 
 	runs := cfg.ProtocolRuns
 	if runs < 1 {
@@ -81,13 +81,16 @@ func SharedScans(cfg Config, enabled bool) SharedScanResult {
 		var seqReadings, sharedReadings []meter.Reading
 		var poolSeq, poolShared int64
 		for rep := 0; rep < runs; rep++ {
-			p0 := pool.Stats()
+			// Pool touches come from the process-wide metrics registry —
+			// storage_pool_reads_total ticks once per Access, so snapshot
+			// deltas equal the old PoolStats hits+misses arithmetic.
+			p0 := obsv.PoolReads.Load()
 			t0 := clock.Now()
 			workload.RunSequential(sys.Engine, clock, queries)
 			seqReadings = append(seqReadings, meter.Reading{
 				Energy: trace.Energy(t0, clock.Now()), Time: clock.Now().Sub(t0)})
-			p1 := pool.Stats()
-			poolSeq = p1.Hits + p1.Misses - p0.Hits - p0.Misses
+			p1 := obsv.PoolReads.Load()
+			poolSeq = p1 - p0
 
 			qed := core.NewQED(sys, 2, mqo.OrChain)
 			qed.SharedScan = enabled
@@ -95,8 +98,7 @@ func SharedScans(cfg Config, enabled bool) SharedScanResult {
 			qed.RunBatch(queries)
 			sharedReadings = append(sharedReadings, meter.Reading{
 				Energy: trace.Energy(t1, clock.Now()), Time: clock.Now().Sub(t1)})
-			p2 := pool.Stats()
-			poolShared = p2.Hits + p2.Misses - p1.Hits - p1.Misses
+			poolShared = obsv.PoolReads.Load() - p1
 		}
 		seq := meter.Reduce(seqReadings)
 		shared := meter.Reduce(sharedReadings)

@@ -155,6 +155,11 @@ type CPU struct {
 
 	parallelism int // cores used by Run work
 
+	// obs, when non-nil, observes every clock-advancing segment. Purely
+	// passive: the engine installs a per-query profile collector here to
+	// attribute run energy to operators without changing any charge.
+	obs Observer
+
 	// Accounting.
 	busy         sim.Duration
 	idle         sim.Duration
@@ -164,6 +169,17 @@ type CPU struct {
 	cyclesByKind [3]float64 // indexed by WorkKind
 	coreSeconds  float64    // busy seconds weighted by parallelism
 }
+
+// Observer watches the CPU's clock-advancing segments: busy runs with the
+// power the trace records for them, and idle waits. Observations are
+// read-only; implementations must not touch the CPU or the clock.
+type Observer interface {
+	CPURun(kind WorkKind, cycles float64, start, end sim.Time, busy energy.Watts)
+	CPUWait(start, end sim.Time, idle energy.Watts)
+}
+
+// SetObserver installs (or, with nil, removes) the segment observer.
+func (c *CPU) SetObserver(o Observer) { c.obs = o }
 
 // New returns a CPU with the given configuration attached to clock.
 // It panics if the configuration is invalid, since configurations are
@@ -454,6 +470,9 @@ func (c *CPU) Run(cycles float64, kind WorkKind) sim.Duration {
 	c.trace.Set(start, p)
 	c.clock.Advance(d)
 	c.trace.Set(c.clock.Now(), c.IdlePower())
+	if c.obs != nil {
+		c.obs.CPURun(kind, cycles, start, c.clock.Now(), p)
+	}
 
 	c.busy += d
 	c.cyclesDone += cycles
@@ -495,6 +514,9 @@ func (c *CPU) Wait(d sim.Duration) {
 	c.trace.Set(start, c.IdlePower())
 	c.clock.Advance(d)
 	c.trace.Set(c.clock.Now(), c.IdlePower())
+	if c.obs != nil {
+		c.obs.CPUWait(start, c.clock.Now(), c.IdlePower())
+	}
 	c.idle += d
 }
 

@@ -1,0 +1,178 @@
+package obsv
+
+import (
+	"ecodb/internal/energy"
+	"ecodb/internal/hw/cpu"
+	"ecodb/internal/sim"
+)
+
+// Collector builds one query's Profile. The executor tells it which
+// operator is current (span push/pop around Open/Next/Close) and what each
+// operator charges; the CPU tells it, via the cpu.Observer hook, what every
+// clock-advancing segment actually cost. The collector never charges
+// anything itself.
+//
+// Attribution works at charge time, not run time: the executor accumulates
+// per-kind cycles and flushes them to the CPU at page granularity, so one
+// cpu.Run segment carries charges from every operator in the pipeline. Each
+// Charge is therefore tagged with the span that made it, and when the run
+// segment arrives its energy and duration are distributed pro-rata over the
+// pending tagged cycles of that kind — with the last share computed as the
+// remainder, so the shares sum to the segment exactly.
+type Collector struct {
+	root    *Span
+	stack   []*Span
+	pending [3][]pendingCharge
+
+	segJoules float64 // chronological segment-order accumulation
+	plan      *PlanInfo
+	prof      *Profile
+}
+
+type pendingCharge struct {
+	span   *Span
+	cycles float64
+}
+
+// NewCollector starts a profile rooted at a statement span.
+func NewCollector(label string, start sim.Time) *Collector {
+	root := &Span{Kind: KindStatement, Label: label, Start: start}
+	return &Collector{root: root, stack: []*Span{root}}
+}
+
+// Root returns the statement span.
+func (c *Collector) Root() *Span { return c.root }
+
+// Cur returns the span charges are currently attributed to.
+func (c *Collector) Cur() *Span { return c.stack[len(c.stack)-1] }
+
+// OpenSpan creates a child of the current span and makes it current.
+func (c *Collector) OpenSpan(kind Kind, label, table string, at sim.Time) *Span {
+	parent := c.Cur()
+	s := &Span{Kind: kind, Label: label, Table: table, Start: at, parent: parent}
+	parent.Children = append(parent.Children, s)
+	c.stack = append(c.stack, s)
+	return s
+}
+
+// Push re-enters an existing span (an operator's Next/Close call).
+func (c *Collector) Push(s *Span) { c.stack = append(c.stack, s) }
+
+// Pop leaves the current span, recording the instant as its latest end.
+func (c *Collector) Pop(at sim.Time) {
+	s := c.Cur()
+	if at > s.End {
+		s.End = at
+	}
+	c.stack = c.stack[:len(c.stack)-1]
+}
+
+// Charge attributes post-amplification cycles of the given work kind to
+// the current span. Called by exec.Ctx on every charge when profiling is
+// enabled; cycles here are exactly the cycles the next Flush will run.
+func (c *Collector) Charge(kind int, cycles float64) {
+	s := c.Cur()
+	s.Cycles[kind] += cycles
+	pl := c.pending[kind]
+	if n := len(pl); n > 0 && pl[n-1].span == s {
+		pl[n-1].cycles += cycles
+		return
+	}
+	c.pending[kind] = append(pl, pendingCharge{span: s, cycles: cycles})
+}
+
+// PageRead records one physical page surfaced while the current span ran.
+func (c *Collector) PageRead(bytes int64) {
+	s := c.Cur()
+	s.PagesRead++
+	s.PageBytes += bytes
+}
+
+// PagePruned records one page the current span skipped via zone maps.
+func (c *Collector) PagePruned() { c.Cur().PagesPruned++ }
+
+// SetPlan attaches the optimizer's choice and per-operator estimates.
+func (c *Collector) SetPlan(p *PlanInfo) { c.plan = p }
+
+// Plan returns the attached optimizer info, nil when the statement did not
+// route through the optimizer.
+func (c *Collector) Plan() *PlanInfo { return c.plan }
+
+// CPURun implements cpu.Observer: one busy segment ran on the CPU. Its
+// energy and duration are split over the pending charges of that kind; a
+// segment with no pending charges (statement overhead run directly by the
+// engine) lands on the current span.
+func (c *Collector) CPURun(kind cpu.WorkKind, cycles float64, start, end sim.Time, busy energy.Watts) {
+	d := end.Sub(start).Seconds()
+	e := float64(busy.For(d))
+	c.segJoules += e
+	k := int(kind)
+	pl := c.pending[k]
+	if len(pl) == 0 {
+		s := c.Cur()
+		s.Joules += e
+		s.KindJoules[k] += e
+		s.Seconds += d
+		return
+	}
+	var total float64
+	for _, pc := range pl {
+		total += pc.cycles
+	}
+	var eAcc, dAcc float64
+	for i, pc := range pl {
+		var es, ds float64
+		if i == len(pl)-1 {
+			es, ds = e-eAcc, d-dAcc
+		} else {
+			frac := pc.cycles / total
+			es, ds = e*frac, d*frac
+			eAcc += es
+			dAcc += ds
+		}
+		pc.span.Joules += es
+		pc.span.KindJoules[k] += es
+		pc.span.Seconds += ds
+	}
+	c.pending[k] = pl[:0]
+}
+
+// CPUWait implements cpu.Observer: the CPU idled for a blocking wait (a
+// disk read). The idle energy belongs to whichever operator blocked.
+func (c *Collector) CPUWait(start, end sim.Time, idle energy.Watts) {
+	d := end.Sub(start).Seconds()
+	e := float64(idle.For(d))
+	c.segJoules += e
+	s := c.Cur()
+	s.Joules += e
+	s.WaitJoules += e
+	s.Seconds += d
+}
+
+// Finish closes the profile at the given instant. Idempotent; returns the
+// same Profile on repeat calls.
+func (c *Collector) Finish(end sim.Time) *Profile {
+	if c.prof != nil {
+		return c.prof
+	}
+	c.root.End = end
+	if c.plan != nil {
+		attachEstimates(c.root, c.plan.Ops)
+	}
+	p := &Profile{
+		Root:        c.root,
+		Start:       c.root.Start,
+		End:         end,
+		Joules:      SumJoules(c.root),
+		MeterJoules: c.segJoules,
+		Plan:        c.plan,
+	}
+	Walk(c.root, func(s *Span, _ int) {
+		for k := range p.KindJoules {
+			p.KindJoules[k] += s.KindJoules[k]
+		}
+		p.WaitJoules += s.WaitJoules
+	})
+	c.prof = p
+	return p
+}

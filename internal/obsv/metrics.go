@@ -1,0 +1,283 @@
+// Package obsv is ecoDB's observability substrate: a process-wide metrics
+// registry (counters, gauges, histograms) and per-query execution profiles
+// that attribute the simulated cycles and joules the cost model already
+// charges to the operator that charged them.
+//
+// The cardinal rule is that observation never charges: nothing in this
+// package touches the simulated clock, the CPU, or the energy traces. A
+// profile is a read-only view over the charge calls the executor makes
+// anyway, so simulated results, durations, and joules are byte-identical
+// with profiling on or off.
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (e.g. joules).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add increments the counter by d.
+func (f *FloatCounter) Add(d float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (f *FloatCounter) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Gauge is a point-in-time float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the last value set.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a bucketed distribution metric with fixed upper bounds.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1
+	count  int64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Registry is a named collection of metrics. Metric constructors are
+// get-or-create, so independent packages can reference the same metric by
+// name without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	floats   map[string]*FloatCounter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		floats:   make(map[string]*FloatCounter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every engine reports into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// FloatCounter returns the named float counter, creating it if needed.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.floats[name]
+	if !ok {
+		f = &FloatCounter{}
+		r.floats[name] = f
+	}
+	return f
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds if needed (bounds are ignored on an existing histogram).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricsSnapshot is a point-in-time copy of every metric in a registry.
+// Experiments difference two snapshots to isolate their own activity from
+// the process-wide totals.
+type MetricsSnapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Floats     map[string]float64      `json:"float_counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Floats:     make(map[string]float64, len(r.floats)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, f := range r.floats {
+		s.Floats[name] = f.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		hs := HistSnapshot{
+			Count:  h.count,
+			Sum:    h.sum,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Counter returns a counter's value in the snapshot, zero if absent.
+func (s MetricsSnapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Float returns a float counter's value in the snapshot, zero if absent.
+func (s MetricsSnapshot) Float(name string) float64 { return s.Floats[name] }
+
+// Text renders the snapshot as sorted "name value" lines.
+func (s MetricsSnapshot) Text() string {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Floats {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count))
+		lines = append(lines, fmt.Sprintf("%s_sum %g", name, h.Sum))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s MetricsSnapshot) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err) // plain maps of numbers cannot fail to marshal
+	}
+	return string(b) + "\n"
+}
+
+// Canonical metric names. Counters are process-wide and monotonic; read
+// them as before/after snapshot deltas to isolate one run's activity.
+const (
+	MetricQueries        = "engine_queries_total"
+	MetricBatches        = "engine_batches_total"
+	MetricRowsOut        = "engine_rows_out_total"
+	MetricQuerySeconds   = "engine_query_seconds"       // histogram, simulated
+	MetricPlanningSecs   = "engine_planning_seconds"    // histogram, real wall-clock
+	MetricQueryJoules    = "engine_query_joules_total." // + objective suffix
+	MetricPoolReads      = "storage_pool_reads_total"
+	MetricPoolMisses     = "storage_pool_misses_total"
+	MetricPoolResident   = "storage_pool_resident_bytes" // gauge
+	MetricPagesPruned    = "exec_pages_pruned_total"
+	MetricSharedAttaches = "scanshare_attaches_total"
+	MetricSharedSurfaced = "scanshare_pages_surfaced_total"
+	MetricSharedPasses   = "scanshare_passes_total"
+)
+
+// Hot-path metrics, resolved once so charging sites pay a single atomic add.
+var (
+	Queries        = Default().Counter(MetricQueries)
+	Batches        = Default().Counter(MetricBatches)
+	RowsOut        = Default().Counter(MetricRowsOut)
+	PoolReads      = Default().Counter(MetricPoolReads)
+	PoolMisses     = Default().Counter(MetricPoolMisses)
+	PagesPruned    = Default().Counter(MetricPagesPruned)
+	SharedAttaches = Default().Counter(MetricSharedAttaches)
+	SharedSurfaced = Default().Counter(MetricSharedSurfaced)
+	SharedPasses   = Default().Counter(MetricSharedPasses)
+
+	QuerySeconds = Default().Histogram(MetricQuerySeconds,
+		[]float64{0.01, 0.1, 1, 10, 60, 600})
+	PlanningSeconds = Default().Histogram(MetricPlanningSecs,
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1})
+)
+
+// QueryJoules returns the per-objective query energy counter ("disabled"
+// for the bypass path).
+func QueryJoules(objective string) *FloatCounter {
+	return Default().FloatCounter(MetricQueryJoules + objective)
+}

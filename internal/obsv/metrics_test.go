@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.FloatCounter("f") != r.FloatCounter("f") {
+		t.Fatal("same name must return the same float counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same name must return the same gauge")
+	}
+	h := r.Histogram("h", []float64{1, 10})
+	if r.Histogram("h", []float64{99}) != h {
+		t.Fatal("same name must return the same histogram (bounds ignored on existing)")
+	}
+}
+
+func TestFloatCounterConcurrentAdds(t *testing.T) {
+	var f FloatCounter
+	const workers, addsPer = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < addsPer; i++ {
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); got != workers*addsPer*0.5 {
+		t.Fatalf("concurrent float adds lost updates: %v, want %v",
+			got, workers*addsPer*0.5)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 5 || s.Sum != 55.65 {
+		t.Fatalf("count=%d sum=%v, want 5/55.65", s.Count, s.Sum)
+	}
+	// 0.05 and 0.1 land ≤0.1; 0.5 ≤1; 5 ≤10; 50 overflows to +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	s := r.Snapshot()
+	r.Counter("c").Add(4)
+	if s.Counter("c") != 3 {
+		t.Fatalf("snapshot mutated after the fact: %d", s.Counter("c"))
+	}
+	if r.Snapshot().Counter("c") != 7 {
+		t.Fatal("live counter did not advance")
+	}
+	if s.Counter("absent") != 0 || s.Float("absent") != 0 {
+		t.Fatal("absent metrics must read zero")
+	}
+}
+
+func TestSnapshotTextSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total").Inc()
+	r.Counter("a_total").Add(2)
+	r.FloatCounter("joules").Add(1.5)
+	r.Gauge("resident").Set(42)
+	r.Histogram("secs", []float64{1}).Observe(0.25)
+	text := r.Snapshot().Text()
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("Text() not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+	for _, want := range []string{"a_total 2", "z_total 1", "joules 1.5",
+		"resident 42", "secs_count 1", "secs_sum 0.25"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q").Add(7)
+	r.FloatCounter("j").Add(2.25)
+	var back MetricsSnapshot
+	if err := json.Unmarshal([]byte(r.Snapshot().JSON()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("q") != 7 || back.Float("j") != 2.25 {
+		t.Fatalf("round-trip lost values: %+v", back)
+	}
+}
+
+func TestQueryJoulesPerObjective(t *testing.T) {
+	a := QueryJoules("latency")
+	b := QueryJoules("joules")
+	if a == b {
+		t.Fatal("objectives must get distinct counters")
+	}
+	before := a.Load()
+	a.Add(1.25)
+	if QueryJoules("latency").Load()-before != 1.25 {
+		t.Fatal("objective counter not shared by name")
+	}
+}
+
+// The hot-path package vars must alias the default registry's named
+// metrics, so engine increments and registry snapshots agree.
+func TestPackageVarsAliasDefaultRegistry(t *testing.T) {
+	before := Default().Snapshot().Counter(MetricQueries)
+	Queries.Inc()
+	after := Default().Snapshot().Counter(MetricQueries)
+	if after-before != 1 {
+		t.Fatalf("Queries.Inc() moved %s by %d, want 1", MetricQueries, after-before)
+	}
+}

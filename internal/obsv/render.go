@@ -1,0 +1,94 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+
+	"ecodb/internal/sim"
+)
+
+// Render formats the profile as the EXPLAIN ANALYZE tree: a totals header,
+// the optimizer's choice when the statement routed through it, and one line
+// per operator span with rows (estimate vs actual), attributed joules and
+// share of the query total, and attributed simulated time.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total: time=%s joules=%s rows=%d\n",
+		p.Duration(), fmtJ(p.Joules), p.Root.Rows)
+	fmt.Fprintf(&b, "by component: compute %s, memstall %s, stream %s, wait %s\n",
+		fmtJ(p.KindJoules[0]), fmtJ(p.KindJoules[1]), fmtJ(p.KindJoules[2]), fmtJ(p.WaitJoules))
+	if p.Plan != nil {
+		fmt.Fprintf(&b, "plan: objective=%s parallelism=%d access=%s\n",
+			p.Plan.Objective, p.Plan.Parallelism, p.Plan.Access)
+		fmt.Fprintf(&b, "estimated: %s %s %s rows\n",
+			fmtSecs(p.Plan.EstSeconds), fmtJ(p.Plan.EstJoules), fmtRows(p.Plan.EstRows))
+	}
+	b.WriteString("operators:\n")
+	renderSpan(&b, p.Root, "", "", p.Joules)
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, head, tail string, total float64) {
+	label := head + s.Label
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * s.Joules / total
+	}
+	fmt.Fprintf(b, "%-46s %-24s %10s %6.1f%% %10s",
+		label, renderRows(s), fmtJ(s.Joules), pct, sim.Duration(s.Seconds))
+	if detail := renderDetail(s); detail != "" {
+		fmt.Fprintf(b, "  %s", detail)
+	}
+	b.WriteByte('\n')
+	for i, c := range s.Children {
+		ch, ct := tail+"└─ ", tail+"   "
+		if i < len(s.Children)-1 {
+			ch, ct = tail+"├─ ", tail+"│  "
+		}
+		renderSpan(b, c, ch, ct, total)
+	}
+}
+
+func renderRows(s *Span) string {
+	if s.Kind == KindStatement || s.Kind == KindResult {
+		return ""
+	}
+	r := fmt.Sprintf("rows=%d", s.Rows)
+	if s.Est != nil {
+		r += fmt.Sprintf(" (est %s)", fmtRows(s.Est.Rows))
+	}
+	return r
+}
+
+func renderDetail(s *Span) string {
+	var parts []string
+	if s.Est != nil {
+		parts = append(parts, fmt.Sprintf("est %s", fmtJ(s.Est.Joules)))
+	}
+	if s.PagesRead > 0 || s.PagesPruned > 0 {
+		parts = append(parts, fmt.Sprintf("pages=%d pruned=%d", s.PagesRead, s.PagesPruned))
+	}
+	if s.Shared {
+		parts = append(parts, fmt.Sprintf("pass(entry=%d seen=%d skipped=%d)",
+			s.SharedEntry, s.SharedSeen, s.SharedPruned))
+	}
+	if s.WaitJoules > 0 {
+		parts = append(parts, fmt.Sprintf("wait=%s", fmtJ(s.WaitJoules)))
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtJ(j float64) string { return fmt.Sprintf("%.4gJ", j) }
+
+func fmtSecs(s float64) string { return sim.Duration(s).String() }
+
+func fmtRows(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ecodb/internal/hw/cpu"
+	"ecodb/internal/obsv"
 	"ecodb/internal/plan"
 )
 
@@ -63,6 +64,68 @@ func Explain(lg *plan.Logical, env Env, ch *Choice) (string, error) {
 			op.desc, fmtRows(op.rows), fmtCycles(op.cyc.total()), fmtJoules(joules))
 	}
 	return b.String(), nil
+}
+
+// OperatorEstimates returns the per-operator estimates of a choice in the
+// profiler's join-up form: one record per operator planCycles costs, in the
+// executor's post-order (scan leaves and joins bottom-up, then filters,
+// aggregation, projection, sort, limit, result), each carrying estimated
+// rows, seconds, and joules under the chosen configuration. The engine
+// attaches these to the matching spans of the executed profile so EXPLAIN
+// ANALYZE can print estimate-vs-actual per operator.
+func OperatorEstimates(lg *plan.Logical, env Env, ch *Choice) []obsv.OpEstimate {
+	if env.CPU == nil {
+		return nil
+	}
+	e := newEst(lg, env)
+	order := ch.Phys.JoinOrder
+	builds := ch.Phys.BuildLeft
+	if order == nil {
+		order = lg.DefaultChoices().JoinOrder
+	}
+	if builds == nil {
+		builds = lg.DefaultChoices().BuildLeft
+	}
+	_, _, ops, ok := e.planCycles(order, builds, ch.Phys.Pushdown, true)
+	if !ok {
+		return nil
+	}
+	out := make([]obsv.OpEstimate, len(ops))
+	for i, op := range ops {
+		table := ""
+		if op.scanTable >= 0 {
+			table = lg.Tables[op.scanTable].Name
+		}
+		out[i] = obsv.OpEstimate{
+			Kind:    op.kind,
+			Table:   table,
+			Desc:    op.desc,
+			Rows:    op.rows,
+			Seconds: e.opSeconds(op, ch.Parallelism, ch.Shared),
+			Joules:  e.opJoules(op, ch.Parallelism, ch.Shared),
+		}
+	}
+	return out
+}
+
+// opSeconds converts one operator's estimated cycles to per-query response
+// seconds under the chosen configuration, mirroring timeEnergy: shared
+// execution time-shares the machine (own work stretches by Q) while the
+// pass streams once.
+func (e *est) opSeconds(op opEst, par int, shared bool) float64 {
+	amp := e.amp()
+	q := 1.0
+	if shared && e.env.SharedConcurrency > 1 {
+		q = float64(e.env.SharedConcurrency)
+	}
+	m := e.env.CPU
+	c := op.cyc
+	own := m.EstimateSeconds((c.k[cpu.Compute]-c.passZone)*amp, cpu.Compute, par) +
+		m.EstimateSeconds(c.k[cpu.MemStall]*amp, cpu.MemStall, par) +
+		m.EstimateSeconds((c.k[cpu.Stream]-c.passStream)*amp, cpu.Stream, par)
+	pass := m.EstimateSeconds(c.passZone*amp, cpu.Compute, par) +
+		m.EstimateSeconds(c.passStream*amp, cpu.Stream, par)
+	return q*own + pass
 }
 
 // opJoules converts one operator's estimated cycles to joules under the

@@ -8,6 +8,7 @@ import (
 	"ecodb/internal/exec"
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
+	"ecodb/internal/obsv"
 	"ecodb/internal/plan"
 )
 
@@ -471,6 +472,7 @@ func paretoInsert(frontier []cand, nc cand) []cand {
 // output rows, and estimated cycles (amplification excluded; applied at
 // conversion).
 type opEst struct {
+	kind obsv.Kind
 	desc string
 	rows float64
 	cyc  cycles
@@ -491,8 +493,8 @@ func (e *est) planCycles(order []int, builds []bool, pd plan.Pushdown, collect b
 	var ops []opEst
 	// record is only invoked under collect so the desc strings (fmt-built)
 	// cost nothing on the optimizer's hot enumeration path.
-	record := func(desc string, rows float64, c cycles, scanTable int) {
-		ops = append(ops, opEst{desc: desc, rows: rows, cyc: c, scanTable: scanTable})
+	record := func(kind obsv.Kind, desc string, rows float64, c cycles, scanTable int) {
+		ops = append(ops, opEst{kind: kind, desc: desc, rows: rows, cyc: c, scanTable: scanTable})
 	}
 
 	placed := make([]bool, len(lg.Conjuncts))
@@ -513,7 +515,7 @@ func (e *est) planCycles(order []int, builds []bool, pd plan.Pushdown, collect b
 	curRows, c0 := e.scanCost(t0, pushed)
 	total.addAll(c0)
 	if collect {
-		record(scanDesc(lg, t0, len(pushed) > 0), curRows, c0, t0)
+		record(obsv.KindScan, scanDesc(lg, t0, len(pushed) > 0), curRows, c0, t0)
 	}
 	curSet := plan.TableSet(0).With(t0)
 
@@ -525,7 +527,7 @@ func (e *est) planCycles(order []int, builds []bool, pd plan.Pushdown, collect b
 		leafRows, leafC := e.scanCost(t, leafPreds)
 		total.addAll(leafC)
 		if collect {
-			record(scanDesc(lg, t, len(leafPreds) > 0), leafRows, leafC, t)
+			record(obsv.KindScan, scanDesc(lg, t, len(leafPreds) > 0), leafRows, leafC, t)
 		}
 		newSet := curSet.With(t)
 
@@ -565,7 +567,7 @@ func (e *est) planCycles(order []int, builds []bool, pd plan.Pushdown, collect b
 		jc := e.joinCost(buildRows, probeRows, matches, residuals)
 		total.addAll(jc)
 		if collect {
-			record(joinDesc(lg, keyIdx, builds[step], len(residuals)), outRows, jc, -1)
+			record(obsv.KindJoin, joinDesc(lg, keyIdx, builds[step], len(residuals)), outRows, jc, -1)
 		}
 		curRows, curSet = outRows, newSet
 	}
@@ -580,7 +582,7 @@ func (e *est) planCycles(order []int, builds []bool, pd plan.Pushdown, collect b
 		total.addAll(fc)
 		curRows = max(curRows*e.sel(c.Pred), minRows)
 		if collect {
-			record(fmt.Sprintf("Filter(%s)", c.Pred), curRows, fc, -1)
+			record(obsv.KindFilter, fmt.Sprintf("Filter(%s)", c.Pred), curRows, fc, -1)
 		}
 		placed[i] = true
 	}
@@ -590,7 +592,7 @@ func (e *est) planCycles(order []int, builds []bool, pd plan.Pushdown, collect b
 		ac := e.aggCost(curRows, groups)
 		total.addAll(ac)
 		if collect {
-			record(aggDesc(lg), groups, ac, -1)
+			record(obsv.KindAgg, aggDesc(lg), groups, ac, -1)
 		}
 		curRows = groups
 	}
@@ -598,26 +600,26 @@ func (e *est) planCycles(order []int, builds []bool, pd plan.Pushdown, collect b
 		pc := e.projectCost(curRows)
 		total.addAll(pc)
 		if collect {
-			record(fmt.Sprintf("Project(%d exprs)", len(lg.Project.Exprs)), curRows, pc, -1)
+			record(obsv.KindProject, fmt.Sprintf("Project(%d exprs)", len(lg.Project.Exprs)), curRows, pc, -1)
 		}
 	}
 	if len(lg.Sort) > 0 {
 		sc := e.sortCost(curRows)
 		total.addAll(sc)
 		if collect {
-			record(fmt.Sprintf("Sort(%d keys)", len(lg.Sort)), curRows, sc, -1)
+			record(obsv.KindSort, fmt.Sprintf("Sort(%d keys)", len(lg.Sort)), curRows, sc, -1)
 		}
 	}
 	if lg.Limit >= 0 && float64(lg.Limit) < curRows {
 		curRows = float64(lg.Limit)
 		if collect {
-			record(fmt.Sprintf("Limit(%d)", lg.Limit), curRows, cycles{}, -1)
+			record(obsv.KindLimit, fmt.Sprintf("Limit(%d)", lg.Limit), curRows, cycles{}, -1)
 		}
 	}
 	rc := e.resultCost(curRows)
 	total.addAll(rc)
 	if collect {
-		record("Result", curRows, rc, -1)
+		record(obsv.KindResult, "Result", curRows, rc, -1)
 	}
 
 	return total, curRows, ops, true

@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
 	"ecodb/internal/storage"
 )
 
@@ -78,6 +79,16 @@ type Coordinator struct {
 
 	active []*Consumer
 	stats  PassStats
+
+	// Lap accounting: a "pass" is one full wrap-around of the circular
+	// scan — NumPages steps, skipped or surfaced. The coordinator snapshots
+	// the stats delta over each completed lap so callers can see sharing
+	// traffic per pass rather than only over the coordinator's lifetime.
+	passSteps int       // steps into the current lap
+	lapStart  PassStats // lifetime stats at the start of the current lap
+	lastPass  PassStats // stats delta over the most recently completed lap
+	passes    int64
+	onPass    func(PassStats) // optional per-completed-pass listener
 }
 
 // NewCoordinator returns a coordinator for heap. table names the heap in
@@ -103,6 +114,39 @@ func (c *Coordinator) Attached() int { return len(c.active) }
 // Stats returns the sharing counters accumulated so far.
 func (c *Coordinator) Stats() PassStats { return c.stats }
 
+// Passes returns how many full wrap-around laps the pass has completed.
+func (c *Coordinator) Passes() int64 { return c.passes }
+
+// LastPass returns the sharing counters of the most recently completed
+// lap — the zero PassStats before the first lap completes.
+func (c *Coordinator) LastPass() PassStats { return c.lastPass }
+
+// SetPassListener registers fn to be called with each completed lap's
+// stats delta, replacing any previous listener. Pass nil to remove.
+func (c *Coordinator) SetPassListener(fn func(PassStats)) { c.onPass = fn }
+
+// stepDone records one pass step (skipped or surfaced) and, when it
+// completes a lap, publishes that lap's stats delta.
+func (c *Coordinator) stepDone() {
+	c.passSteps++
+	if c.passSteps < c.heap.NumPages() {
+		return
+	}
+	c.passSteps = 0
+	c.lastPass = PassStats{
+		PagesSurfaced:  c.stats.PagesSurfaced - c.lapStart.PagesSurfaced,
+		PagesDelivered: c.stats.PagesDelivered - c.lapStart.PagesDelivered,
+		PagesPruned:    c.stats.PagesPruned - c.lapStart.PagesPruned,
+		Attaches:       c.stats.Attaches - c.lapStart.Attaches,
+	}
+	c.lapStart = c.stats
+	c.passes++
+	obsv.SharedPasses.Inc()
+	if c.onPass != nil {
+		c.onPass(c.lastPass)
+	}
+}
+
 // Attach admits a consumer into the pass at its current position. The
 // consumer will receive every heap page exactly once, starting at the
 // entry page and wrapping, and must be Closed when its query finishes.
@@ -123,6 +167,7 @@ func (c *Coordinator) AttachPruned(prune Prune) *Consumer {
 	}
 	c.active = append(c.active, k)
 	c.stats.Attaches++
+	obsv.SharedAttaches.Inc()
 	return k
 }
 
@@ -148,12 +193,14 @@ func (c *Coordinator) advance(surface Surface) {
 	if !needed {
 		idx, _ := c.scan.Skip()
 		c.stats.PagesPruned++
+		obsv.PagesPruned.Inc()
 		for _, k := range c.active {
 			if k.remaining > 0 {
 				k.queue = append(k.queue, queuedPage{idx: idx, pruned: true})
 				k.remaining--
 			}
 		}
+		c.stepDone()
 		return
 	}
 	idx, page, ok := c.scan.Next()
@@ -161,6 +208,7 @@ func (c *Coordinator) advance(surface Surface) {
 		return
 	}
 	c.stats.PagesSurfaced++
+	obsv.SharedSurfaced.Inc()
 	for _, k := range c.active {
 		if k.remaining > 0 {
 			k.queue = append(k.queue, queuedPage{idx: idx, pruned: k.prunes(zones)})
@@ -171,6 +219,7 @@ func (c *Coordinator) advance(surface Surface) {
 	if surface != nil {
 		surface(idx, page.Bytes)
 	}
+	c.stepDone()
 }
 
 // detach removes k from the active set.

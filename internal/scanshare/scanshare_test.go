@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
 	"ecodb/internal/storage"
 )
 
@@ -274,3 +275,100 @@ func TestCoordinatorPoolChargedOncePerPass(t *testing.T) {
 type readerStub struct{}
 
 func (readerStub) BlockingRead(int64, bool) {}
+
+// One full wrap-around lap publishes its stats delta: Passes, LastPass,
+// and the listener all see per-lap numbers, not lifetime totals.
+func TestLapAccountingAndListener(t *testing.T) {
+	h := heapOf(t, 500)
+	n := h.NumPages()
+	c := NewCoordinator(h, "t", nil)
+	var laps []PassStats
+	c.SetPassListener(func(ps PassStats) { laps = append(laps, ps) })
+
+	a := c.Attach()
+	drain(a, nil)
+	a.Close()
+	if c.Passes() != 1 {
+		t.Fatalf("Passes() = %d after one drained consumer, want 1", c.Passes())
+	}
+	lp := c.LastPass()
+	if lp.PagesSurfaced != int64(n) || lp.PagesDelivered != int64(n) || lp.Attaches != 1 {
+		t.Fatalf("first lap delta = %+v, want %d surfaced, %d delivered, 1 attach", lp, n, n)
+	}
+	if len(laps) != 1 || laps[0] != lp {
+		t.Fatalf("listener saw %v, want one call with %+v", laps, lp)
+	}
+
+	// Second lap, two consumers: the delta restarts — it must not carry
+	// the first lap's counts.
+	b1, b2 := c.Attach(), c.Attach()
+	done := 0
+	for done < 2 {
+		done = 0
+		for _, k := range []*Consumer{b1, b2} {
+			if _, _, _, ok := k.Next(nil); !ok {
+				done++
+			}
+		}
+	}
+	if c.Passes() != 2 {
+		t.Fatalf("Passes() = %d, want 2", c.Passes())
+	}
+	lp = c.LastPass()
+	if lp.PagesSurfaced != int64(n) || lp.PagesDelivered != int64(2*n) || lp.Attaches != 2 {
+		t.Fatalf("second lap delta = %+v, want %d surfaced, %d delivered, 2 attaches", lp, n, 2*n)
+	}
+	if len(laps) != 2 {
+		t.Fatalf("listener called %d times, want 2", len(laps))
+	}
+	b1.Close()
+	b2.Close()
+}
+
+// A page every needy consumer prunes is skipped physically and counts
+// ONCE per pass step in the coordinator's (and registry's) pruned total —
+// not once per consumer. Each consumer still records its own pruned steps
+// as per-query detail.
+func TestFullyPrunedPageCountsOncePerPass(t *testing.T) {
+	h := heapOf(t, 500)
+	n := h.NumPages()
+	c := NewCoordinator(h, "t", nil)
+	pruneAll := func([]expr.Zone) bool { return true }
+	g0 := obsv.PagesPruned.Load()
+
+	a := c.AttachPruned(pruneAll)
+	b := c.AttachPruned(pruneAll)
+	surface := func(int, int64) { t.Fatal("fully pruned pass surfaced a page") }
+	done := 0
+	for done < 2 {
+		done = 0
+		for _, k := range []*Consumer{a, b} {
+			if _, _, pruned, ok := k.Next(surface); ok && !pruned {
+				t.Fatal("prune-everything consumer received a data page")
+			} else if !ok {
+				done++
+			}
+		}
+	}
+	st := c.Stats()
+	if st.PagesPruned != int64(n) {
+		t.Fatalf("coordinator PagesPruned = %d for 2 consumers, want %d (once per pass step)",
+			st.PagesPruned, n)
+	}
+	if st.PagesSurfaced != 0 {
+		t.Fatalf("PagesSurfaced = %d, want 0", st.PagesSurfaced)
+	}
+	if a.PagesPruned() != int64(n) || b.PagesPruned() != int64(n) {
+		t.Fatalf("per-consumer pruned = %d/%d, want %d each (query detail preserved)",
+			a.PagesPruned(), b.PagesPruned(), n)
+	}
+	if got := obsv.PagesPruned.Load() - g0; got != int64(n) {
+		t.Fatalf("registry exec_pages_pruned_total delta = %d, want %d", got, n)
+	}
+	if c.Passes() != 1 || c.LastPass().PagesPruned != int64(n) {
+		t.Fatalf("lap accounting over a pruned pass: passes=%d lastPass=%+v",
+			c.Passes(), c.LastPass())
+	}
+	a.Close()
+	b.Close()
+}

@@ -3,9 +3,11 @@ package sql
 import "fmt"
 
 // SelectStmt is a parsed SELECT statement, optionally prefixed with
-// EXPLAIN (which asks for the chosen physical plan instead of rows).
+// EXPLAIN (which asks for the chosen physical plan instead of rows) or
+// EXPLAIN ANALYZE (which executes the statement and asks for its profile).
 type SelectStmt struct {
 	Explain bool
+	Analyze bool // EXPLAIN ANALYZE; implies Explain
 	Items   []SelectItem
 	From    TableRef
 	Joins   []JoinClause

@@ -47,7 +47,7 @@ var keywords = map[string]bool{
 	"NOT": true, "BETWEEN": true, "IN": true, "JOIN": true, "ON": true,
 	"ASC": true, "DESC": true, "SUM": true, "COUNT": true, "MIN": true,
 	"MAX": true, "AVG": true, "DATE": true, "INNER": true, "TRUE": true,
-	"FALSE": true, "NULL": true, "EXPLAIN": true,
+	"FALSE": true, "NULL": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex tokenizes the input. It returns an error with position information

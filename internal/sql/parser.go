@@ -13,11 +13,13 @@ func Parse(input string) (*SelectStmt, error) {
 	}
 	p := &parser{toks: toks}
 	explain := p.acceptKeyword("EXPLAIN")
+	analyze := explain && p.acceptKeyword("ANALYZE")
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
 	stmt.Explain = explain
+	stmt.Analyze = analyze
 	// Optional trailing semicolon.
 	if p.peek().kind == tokSymbol && p.peek().text == ";" {
 		p.next()

@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+
+	"ecodb/internal/obsv"
 )
 
 // PageID identifies one page of one table.
@@ -86,6 +88,7 @@ func (bp *BufferPool) Access(id PageID, bytes int64) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("storage: negative page size for %v", id))
 	}
+	obsv.PoolReads.Inc()
 	if el, ok := bp.resident[id]; ok {
 		bp.lru.MoveToFront(el)
 		bp.stats.Hits++
@@ -93,6 +96,7 @@ func (bp *BufferPool) Access(id PageID, bytes int64) {
 	}
 	bp.stats.Misses++
 	bp.stats.BytesIn += bytes
+	obsv.PoolMisses.Inc()
 
 	sequential := bp.valid && id.Table == bp.last.Table && id.Index == bp.last.Index+1
 	bp.reader.BlockingRead(bytes, sequential)
