@@ -6,6 +6,8 @@
 package exec
 
 import (
+	"math"
+
 	"ecodb/internal/expr"
 	"ecodb/internal/hw/cpu"
 	"ecodb/internal/obsv"
@@ -168,6 +170,20 @@ func (c *Ctx) chargePageStream(bytes int64) {
 // little, exactly like a real engine's min/max check.
 func (c *Ctx) chargeZoneCheck() {
 	c.Charge(cpu.Compute, c.Cost.ZoneCheckCycles)
+}
+
+// chargeSort charges the comparison-model cost of sorting n rows:
+// SortCmpCycles·n·log₂n compute plus a quarter of that in memory stalls.
+// This is the single formula shared by the serial sort and the parallel
+// sort's coordinator (and mirrored by opt's sortCost estimate): the
+// parallel sort charges it once on the total row count, never per run,
+// because the simulated cost models the algorithm, not the schedule.
+func (c *Ctx) chargeSort(n float64) {
+	if n <= 1 {
+		return
+	}
+	c.Charge(cpu.Compute, c.Cost.SortCmpCycles*n*math.Log2(n))
+	c.Charge(cpu.MemStall, 0.25*c.Cost.SortCmpCycles*n*math.Log2(n))
 }
 
 // chargePageTuples charges the per-consumer interpretation of one page's

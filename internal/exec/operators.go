@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 
@@ -221,22 +220,43 @@ func (f *fusedOp) Close(ctx *Ctx) error {
 // single column during Open, then streams the probe side batch by batch.
 // With workers > 1 the table is radix-partitioned by key hash and each
 // worker builds one partition — the build side's real construction cost
-// spreads across cores while the probe stays a merged single stream.
-// Output rows are buildRow ++ probeRow, assembled columnar into the output
-// batch; an optional residual predicate filters matches.
+// spreads across cores. When the probe side is itself a pure
+// scan→filter→project fragment and workers > 1, the probe also
+// parallelizes: probe-side morsels stream through per-worker probe
+// fragments against the completed read-only partitions and merge back in
+// page order (parallel_join.go). Output rows are buildRow ++ probeRow,
+// assembled columnar into the output batch; an optional residual predicate
+// filters matches.
 type hashJoinOp struct {
-	build, probe       Operator
+	build, probe       Operator // probe is nil when probeFrag is set
 	buildKey, probeKey int
 	residual           expr.Expr
 	schema             *catalog.Schema
 	workers            int
 
+	// probeFrag, when non-nil, is the probe side lowered as a morsel
+	// fragment for the merged parallel probe; probeLabel is the span label
+	// the equivalent serial probe leaf would have carried.
+	probeFrag  *fragment
+	probeLabel string
+	pump       morselPump
+	probeSpan  *obsv.Span
+
 	// parts are the partitioned build tables: a key's partition is
 	// HashValue(key) mod len(parts), so every key lives wholly in one
 	// partition and a probe looks up exactly one map. With one partition
 	// (workers <= 1, or a build side too small to be worth splitting) no
-	// hashes are computed at all.
-	parts    []map[expr.Value][]expr.Row
+	// hashes are computed at all. After Open the partitions are read-only,
+	// which is what lets probe workers share them without locks.
+	parts   []map[expr.Value][]expr.Row
+	scratch probeScratch
+}
+
+// probeScratch is one probe consumer's private state: the output batch
+// under assembly plus reusable row/hash buffers and the residual-predicate
+// meter. The serial probe owns one; each merged-probe morsel worker owns
+// its own, so workers never share mutable state.
+type probeScratch struct {
 	out      *expr.Batch
 	probeRow expr.Row
 	catRow   expr.Row
@@ -268,7 +288,7 @@ func (j *hashJoinOp) Schema() *catalog.Schema { return j.schema }
 // semantics (Cmp.Eval returns false on NULL), so they could never meet a
 // NULL probe key.
 func (j *hashJoinOp) Open(ctx *Ctx) error {
-	j.out = expr.NewBatch(j.schema.NumCols())
+	j.scratch.out = expr.NewBatch(j.schema.NumCols())
 	if err := j.build.Open(ctx); err != nil {
 		return err
 	}
@@ -324,6 +344,10 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 		fallthrough
 	default:
 		j.parts = []map[expr.Value][]expr.Row{table}
+	}
+	if j.probeFrag != nil {
+		j.openMergedProbe(ctx)
+		return nil
 	}
 	return j.probe.Open(ctx)
 }
@@ -384,6 +408,9 @@ func (j *hashJoinOp) buildPartitions(chunks []*expr.Batch) {
 }
 
 func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	if j.probeFrag != nil {
+		return j.mergedNext(ctx)
+	}
 	for {
 		in, err := j.probe.Next(ctx)
 		if err != nil || in == nil {
@@ -391,52 +418,69 @@ func (j *hashJoinOp) Next(ctx *Ctx) (*expr.Batch, error) {
 		}
 		ctx.Charge(cpu.Compute, ctx.Cost.ProbeCycles*float64(in.Len()))
 		ctx.Charge(cpu.MemStall, ctx.Cost.ProbeStallCycles*float64(in.Len()))
-		j.out.Reset()
-		matches := 0
-		kvec := &in.Cols[j.probeKey]
-		// Partitioned probes hash the whole batch's keys up front in one
-		// vectorized pass over the key column's payload (expr.HashVec)
-		// instead of one HashValue interpreter call per row; hashes — and
-		// therefore partition choices and results — are bit-identical.
-		var hashes []uint64
-		if len(j.parts) > 1 {
-			j.hashBuf = expr.HashVec(kvec, in.Sel, j.hashBuf[:0])
-			hashes = j.hashBuf
-		}
-		for li, n := 0, in.Len(); li < n; li++ {
-			k := kvec.Get(in.RowIdx(li))
-			if k.IsNull() {
-				continue
-			}
-			var hits []expr.Row
-			if hashes != nil {
-				hits = j.parts[hashes[li]%uint64(len(j.parts))][k]
-			} else {
-				hits = j.parts[0][k]
-			}
-			if len(hits) == 0 {
-				continue
-			}
-			j.probeRow = in.Row(li, j.probeRow)
-			for _, b := range hits {
-				matches++
-				j.catRow = append(append(j.catRow[:0], b...), j.probeRow...)
-				if j.residual != nil && !j.residual.Eval(j.catRow, &j.meter).Truthy() {
-					continue
-				}
-				j.out.AppendRow(j.catRow)
-			}
-		}
+		matches := j.probeBatch(in, &j.scratch)
 		ctx.Charge(cpu.Compute, ctx.Cost.MatchCycles*float64(matches))
-		ctx.ChargeExpr(&j.meter)
-		if j.out.Len() > 0 {
-			return j.out, nil
+		ctx.ChargeExpr(&j.scratch.meter)
+		if j.scratch.out.Len() > 0 {
+			return j.scratch.out, nil
 		}
 	}
 }
 
+// probeBatch probes one input batch against the completed (read-only)
+// partitions, assembling matches into ps.out, and returns the raw match
+// count. It charges nothing: the residual predicate meters into ps.meter
+// and the caller charges probe/match work, so the serial Next and the
+// merged probe's workers share one probe implementation while only the
+// coordinator touches the simulated machine.
+func (j *hashJoinOp) probeBatch(in *expr.Batch, ps *probeScratch) int {
+	ps.out.Reset()
+	matches := 0
+	kvec := &in.Cols[j.probeKey]
+	// Partitioned probes hash the whole batch's keys up front in one
+	// vectorized pass over the key column's payload (expr.HashVec)
+	// instead of one HashValue interpreter call per row; hashes — and
+	// therefore partition choices and results — are bit-identical.
+	var hashes []uint64
+	if len(j.parts) > 1 {
+		ps.hashBuf = expr.HashVec(kvec, in.Sel, ps.hashBuf[:0])
+		hashes = ps.hashBuf
+	}
+	for li, n := 0, in.Len(); li < n; li++ {
+		k := kvec.Get(in.RowIdx(li))
+		if k.IsNull() {
+			continue
+		}
+		var hits []expr.Row
+		if hashes != nil {
+			hits = j.parts[hashes[li]%uint64(len(j.parts))][k]
+		} else {
+			hits = j.parts[0][k]
+		}
+		if len(hits) == 0 {
+			continue
+		}
+		ps.probeRow = in.Row(li, ps.probeRow)
+		for _, b := range hits {
+			matches++
+			ps.catRow = append(append(ps.catRow[:0], b...), ps.probeRow...)
+			if j.residual != nil && !j.residual.Eval(ps.catRow, &ps.meter).Truthy() {
+				continue
+			}
+			ps.out.AppendRow(ps.catRow)
+		}
+	}
+	return matches
+}
+
 func (j *hashJoinOp) Close(ctx *Ctx) error {
-	j.parts, j.out = nil, nil
+	if j.probeFrag != nil {
+		// Stop the probe workers before releasing the partitions they read.
+		j.pump.close()
+		j.parts, j.scratch.out = nil, nil
+		return nil
+	}
+	j.parts, j.scratch.out = nil, nil
 	return j.probe.Close(ctx)
 }
 
@@ -689,15 +733,38 @@ func minOrNull(seen bool, v expr.Value) expr.Value {
 	return v
 }
 
+// sortCmp orders physical row i of batch a against physical row j of batch
+// b under keys, returning a negative value when a's row sorts first. Keys
+// compare with expr.Compare (NULL smallest, so ASC puts NULLs first and
+// DESC puts them last); ties return 0 and callers break them on arrival
+// order — stability for the serial sort, the global row ordinal for the
+// parallel sort — which is what keeps every path's output byte-identical.
+func sortCmp(keys []plan.SortKey, a *expr.Batch, i int32, b *expr.Batch, j int32) int {
+	for _, k := range keys {
+		c := expr.Compare(a.Cols[k.Col].Get(int(i)), b.Cols[k.Col].Get(int(j)))
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
 // sortOp materializes its input on the first Next and sorts it, charging
-// n·log₂n compares, then serves the ordered rows in batches. Sorting is
-// row-at-a-time by nature, so the input batches are re-rowified into the
-// sort buffer.
+// n·log₂n compares, then serves the ordered rows in columnar batches. The
+// input is copied columnar into an owned buffer and ordered through a
+// permutation, so serving gathers typed ColVec batches straight from the
+// buffer — downstream consumers keep their columnar fast paths instead of
+// receiving re-rowified batches.
 type sortOp struct {
 	input Operator
 	keys  []plan.SortKey
 
-	rows    []expr.Row
+	buf     expr.Batch
+	perm    []int32
 	pos     int
 	started bool
 	out     expr.Batch
@@ -706,7 +773,8 @@ type sortOp struct {
 func (s *sortOp) Schema() *catalog.Schema { return s.input.Schema() }
 
 func (s *sortOp) Open(ctx *Ctx) error {
-	s.rows, s.pos, s.started = nil, 0, false
+	s.buf = *expr.NewBatch(s.input.Schema().NumCols())
+	s.perm, s.pos, s.started = nil, 0, false
 	s.out = *expr.NewBatch(s.input.Schema().NumCols())
 	return s.input.Open(ctx)
 }
@@ -722,32 +790,27 @@ func (s *sortOp) Next(ctx *Ctx) (*expr.Batch, error) {
 			if in == nil {
 				break
 			}
-			s.rows = in.AppendRowsTo(s.rows)
+			s.buf.AppendBatch(in, in.Len())
 		}
-		sort.SliceStable(s.rows, func(i, j int) bool {
-			for _, k := range s.keys {
-				c := expr.Compare(s.rows[i][k.Col], s.rows[j][k.Col])
-				if c == 0 {
-					continue
-				}
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
+		// A stable sort over the identity permutation is equivalent to the
+		// stable sort over the rows themselves: equal keys keep arrival
+		// order.
+		s.perm = make([]int32, s.buf.Len())
+		for i := range s.perm {
+			s.perm[i] = int32(i)
+		}
+		sort.SliceStable(s.perm, func(i, j int) bool {
+			return sortCmp(s.keys, &s.buf, s.perm[i], &s.buf, s.perm[j]) < 0
 		})
-		if n := float64(len(s.rows)); n > 1 {
-			ctx.Charge(cpu.Compute, ctx.Cost.SortCmpCycles*n*math.Log2(n))
-			ctx.Charge(cpu.MemStall, 0.25*ctx.Cost.SortCmpCycles*n*math.Log2(n))
-		}
+		obsv.SortRows.Add(int64(s.buf.Len()))
+		ctx.chargeSort(float64(s.buf.Len()))
 		ctx.Flush()
 	}
-	return serveBuffered(ctx, s.rows, &s.pos, &s.out), nil
+	return serveSorted(ctx, &s.buf, s.perm, &s.pos, &s.out), nil
 }
 
 func (s *sortOp) Close(ctx *Ctx) error {
-	s.rows = nil
+	s.buf, s.perm = expr.Batch{}, nil
 	return s.input.Close(ctx)
 }
 
@@ -845,6 +908,26 @@ func serveBuffered(ctx *Ctx, rows []expr.Row, pos *int, out *expr.Batch) *expr.B
 	for _, r := range rows[*pos:end] {
 		out.AppendRow(r)
 	}
+	*pos = end
+	return out
+}
+
+// serveSorted hands out successive batch-sized windows of a sorted
+// permutation, gathered columnar from the sort buffer into out; it returns
+// nil once all rows are served.
+func serveSorted(ctx *Ctx, buf *expr.Batch, perm []int32, pos *int, out *expr.Batch) *expr.Batch {
+	if *pos >= len(perm) {
+		return nil
+	}
+	end := *pos + ctx.BatchTarget()
+	if end > len(perm) {
+		end = len(perm)
+	}
+	out.Reset()
+	for c := range out.Cols {
+		out.Cols[c].AppendFrom(&buf.Cols[c], perm[*pos:end])
+	}
+	out.N = end - *pos
 	*pos = end
 	return out
 }

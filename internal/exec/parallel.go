@@ -65,10 +65,24 @@ func compile(n plan.Node, workers int, leaf ScanLeaf) Operator {
 		return compileFused(n, workers, leaf)
 	case *plan.HashJoin:
 		j := &hashJoinOp{
-			build: compile(n.Build, workers, leaf), probe: compile(n.Probe, workers, leaf),
+			build:    compile(n.Build, workers, leaf),
 			buildKey: n.BuildKey, probeKey: n.ProbeKey,
 			residual: n.Residual, schema: n.Schema(),
 			workers: workers,
+		}
+		if leaf == nil && workers > 1 {
+			if f, ok := planFragment(n.Probe); ok {
+				// The probe side folds into the join: probe workers stream
+				// morsels through the fragment and probe the completed
+				// read-only partitions directly (parallel_join.go), instead
+				// of serializing every surviving probe row through the
+				// coordinator first.
+				j.probeFrag = f
+				j.probeLabel = fmt.Sprintf("MorselScan(%s x%d)", f.table.Name, workers)
+			}
+		}
+		if j.probeFrag == nil {
+			j.probe = compile(n.Probe, workers, leaf)
 		}
 		return wrapSpan(j, obsv.KindJoin, fmt.Sprintf("HashJoin(%s = %s)",
 			n.Build.Schema().Columns()[n.BuildKey].Name,
@@ -87,6 +101,16 @@ func compile(n plan.Node, workers int, leaf ScanLeaf) Operator {
 		a := &aggOp{input: compile(n.Input, workers, leaf), groupBy: n.GroupBy, aggs: n.Aggs, schema: n.Schema()}
 		return wrapSpan(a, obsv.KindAgg, label, "")
 	case *plan.Sort:
+		if leaf == nil && workers > 1 {
+			if f, ok := planFragment(n.Input); ok {
+				// The sort boundary joins the fragment: workers generate
+				// sorted runs over their morsels and the coordinator merges
+				// them (parallel_sort.go), instead of serializing every
+				// surviving row through a downstream serial sort.
+				return wrapSpan(newParallelSort(f, n.Keys, workers), obsv.KindSort,
+					fmt.Sprintf("ParallelSort(%s x%d)", f.table.Name, workers), f.table.Name)
+			}
+		}
 		return wrapSpan(&sortOp{input: compile(n.Input, workers, leaf), keys: n.Keys},
 			obsv.KindSort, fmt.Sprintf("Sort(keys=%d)", len(n.Keys)), "")
 	case *plan.Limit:

@@ -31,6 +31,14 @@ import (
 //     page order × row order = global row order, so the bits match the
 //     serial path exactly, independent of worker count.
 //
+// The diverted value lists are bounded: once a run has buffered more than
+// valueBudget values, the worker seals the run's partial table onto the
+// current page's item and starts a fresh table, so a run never holds more
+// than one budget's worth past a page boundary. Sealing happens only at
+// page boundaries and depends only on page contents, so flush points — and
+// therefore the coordinator's fold order, which remains page order × row
+// order — are identical at every worker count.
+//
 // Simulated accounting replays in the coordinator exactly as the serial
 // aggOp-over-scan pipeline charges it: per page, the scan/filter/project
 // charges (replayMorselPage), then the aggregation's per-row cycles and
@@ -52,9 +60,11 @@ func newAggPartial(nAggs int, needVals []bool) *aggState {
 // aggregation path: the fragment's page accounting plus the page's share
 // of the aggregation charges. Workers aggregate at run granularity — one
 // partial table per claimed run of adjacent pages, amortizing table and
-// scratch allocations across the run — so only the run's LAST page carries
-// the partial table (parts nil elsewhere); per-page charges stay exactly
-// where the serial pipeline charges them.
+// scratch allocations across the run — so normally only the run's LAST
+// page carries the partial table (parts nil elsewhere); a run that blows
+// its value budget seals tables onto earlier page items too, always at
+// page boundaries. Per-page charges stay exactly where the serial
+// pipeline charges them.
 type morselAggResult struct {
 	res      *morselResult
 	n        int       // surviving (post-fragment) row count
@@ -69,13 +79,20 @@ func (r *morselAggResult) pageIndex() int { return r.res.idx }
 // morselPump whose workers run the fragment and pre-aggregate each morsel,
 // and a coordinator that merges partials in page order and serves the
 // grouped output in batches.
+// defaultAggValueBudget bounds the SUM/AVG argument values a run's partial
+// table may buffer before the worker seals it onto the current page's item
+// (tests shrink it to exercise sealing). At the default morsel run length
+// this caps per-run memory without ever splitting a page across tables.
+const defaultAggValueBudget = 1 << 14
+
 type parallelAggOp struct {
-	frag     *fragment
-	groupBy  []int
-	aggs     []plan.AggSpec
-	schema   *catalog.Schema
-	workers  int
-	needVals []bool
+	frag        *fragment
+	groupBy     []int
+	aggs        []plan.AggSpec
+	schema      *catalog.Schema
+	workers     int
+	needVals    []bool
+	valueBudget int
 
 	pump    morselPump
 	groups  map[string]*aggState
@@ -94,6 +111,7 @@ func newParallelAgg(f *fragment, n *plan.Agg, workers int) *parallelAggOp {
 	return &parallelAggOp{
 		frag: f, groupBy: n.GroupBy, aggs: n.Aggs,
 		schema: n.Schema(), workers: workers, needVals: needVals,
+		valueBudget: defaultAggValueBudget,
 	}
 }
 
@@ -121,6 +139,7 @@ func (a *parallelAggOp) work(run storage.MorselRun, src *storage.MorselSource, e
 	argVecs := aggArgVecs(a.aggs)
 	parts := make(map[string]*aggState)
 	var order []string
+	buffered := 0
 	items := make([]*morselAggResult, 0, run.Len())
 
 	for idx := run.Start; idx < run.End; idx++ {
@@ -146,12 +165,37 @@ func (a *parallelAggOp) work(run storage.MorselRun, src *storage.MorselSource, e
 			}
 			p.accumulate(a.aggs, argVecs, li)
 		}
+		// Count the values this page diverted into partial lists (exactly
+		// what accumulate appends: non-NULL SUM/AVG arguments) and seal the
+		// run's table onto this page's item once the budget is exceeded. No
+		// accumulation follows a seal on the same page, so sealing never
+		// splits a page's rows across tables.
+		for i, need := range a.needVals {
+			if !need {
+				continue
+			}
+			for li := 0; li < it.n; li++ {
+				if !argVecs[i].IsNull(li) {
+					buffered++
+				}
+			}
+		}
+		if a.valueBudget > 0 && buffered > a.valueBudget {
+			it.keys, it.parts = order, parts
+			parts = make(map[string]*aggState)
+			order = nil
+			buffered = 0
+		}
 		// Only the charges and the run partial travel to the coordinator;
 		// drop the page view so the batch's vectors are collectable.
 		res.batch = expr.Batch{}
 	}
 	last := items[len(items)-1]
-	last.keys, last.parts = order, parts
+	if last.parts == nil {
+		// A seal on the run's final page already carries everything; only
+		// attach the (possibly empty) remainder table when it did not.
+		last.keys, last.parts = order, parts
+	}
 	for _, it := range items {
 		if !emit(it) {
 			return

@@ -1,0 +1,280 @@
+package exec
+
+import (
+	"sort"
+
+	"ecodb/internal/catalog"
+	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
+	"ecodb/internal/plan"
+	"ecodb/internal/storage"
+)
+
+// Parallel sort: morsel-driven run generation + loser-tree multiway merge.
+//
+// Each worker runs the scan→filter→project fragment over its claimed run
+// of adjacent pages, copies the survivors columnar into a run-local sort
+// buffer, and sorts a permutation of that buffer by the sort keys with
+// ties broken on the global row ordinal (page index × row index) — real
+// comparison work, done in worker context. The coordinator replays every
+// page's simulated accounting in page order (identical to the serial
+// scan), charges the serial sort's single n·log₂n formula on the total
+// surviving row count, and then merges the sorted runs with a tournament
+// tree of losers, streaming the globally ordered output in columnar
+// batches.
+//
+// Determinism: runs are fixed contiguous page windows independent of
+// worker count (storage.MorselSource), so run contents — and therefore
+// merge decisions — depend only on the data. The (keys, global ordinal)
+// order the merge produces is exactly the order the serial stable sort
+// produces, because arrival order at the serial sort IS ascending global
+// ordinal; ordinals are unique, so the total order has no residual
+// nondeterminism. Results are byte-identical to sortOp at any worker
+// count, and simulated durations and joules are bit-identical because the
+// coordinator's charge sequence is the serial one.
+
+// sortedRun is one morsel run's sorted output: the columnar copy of its
+// surviving rows, each row's global ordinal, and the permutation ordering
+// them by (keys, ordinal). pos is the merge cursor.
+type sortedRun struct {
+	buf  expr.Batch
+	ord  []int64 // pageIdx<<32 | physRowIdx, per physical buffer row
+	perm []int32
+	pos  int
+}
+
+// morselSortResult is one page's item flowing back to the coordinator: the
+// page accounting to replay, plus — on the run's final page only — the
+// whole run's sorted output.
+type morselSortResult struct {
+	res *morselResult
+	run *sortedRun // non-nil on the run's last page
+}
+
+func (r *morselSortResult) pageIndex() int { return r.res.idx }
+
+// parallelSortOp is the fragment-folded sort: morselPump workers generate
+// sorted runs, the coordinator replays charges and merges.
+type parallelSortOp struct {
+	frag    *fragment
+	keys    []plan.SortKey
+	workers int
+
+	pump    morselPump
+	runs    []*sortedRun
+	lt      *loserTree
+	total   int
+	started bool
+	out     expr.Batch
+}
+
+func newParallelSort(f *fragment, keys []plan.SortKey, workers int) *parallelSortOp {
+	return &parallelSortOp{frag: f, keys: keys, workers: workers}
+}
+
+func (s *parallelSortOp) Schema() *catalog.Schema { return s.frag.schema }
+
+func (s *parallelSortOp) Open(*Ctx) error {
+	s.frag.initPrune()
+	s.runs, s.lt, s.total, s.started = nil, nil, 0, false
+	s.out = *expr.NewBatch(s.frag.schema.NumCols())
+	s.pump = morselPump{workers: s.workers, work: s.work}
+	s.pump.open(s.frag.table.Heap)
+	return nil
+}
+
+// work generates one sorted run in worker context: fragment over each
+// page, survivors copied columnar into the run buffer with their global
+// ordinals recorded, then one permutation sort over the whole run. The
+// run's sorted output rides the final page's item so the coordinator sees
+// it exactly when the run's last page merges.
+func (s *parallelSortOp) work(run storage.MorselRun, src *storage.MorselSource, emit func(morselItem) bool) {
+	sr := &sortedRun{buf: *expr.NewBatch(s.frag.schema.NumCols())}
+	items := make([]*morselSortResult, 0, run.End-run.Start)
+	for idx := run.Start; idx < run.End; idx++ {
+		res := s.frag.run(idx, src.Page(idx))
+		items = append(items, &morselSortResult{res: res})
+		if n := res.batch.Len(); n > 0 {
+			for li := 0; li < n; li++ {
+				sr.ord = append(sr.ord, int64(idx)<<32|int64(res.batch.RowIdx(li)))
+			}
+			sr.buf.AppendBatch(&res.batch, n)
+		}
+		res.batch = expr.Batch{} // drop the page view; accounting remains
+	}
+	sr.perm = make([]int32, len(sr.ord))
+	for i := range sr.perm {
+		sr.perm[i] = int32(i)
+	}
+	sort.Slice(sr.perm, func(i, j int) bool {
+		a, b := sr.perm[i], sr.perm[j]
+		if c := sortCmp(s.keys, &sr.buf, a, &sr.buf, b); c != 0 {
+			return c < 0
+		}
+		return sr.ord[a] < sr.ord[b] // unique: no stability needed
+	})
+	items[len(items)-1].run = sr
+	for _, it := range items {
+		if !emit(it) {
+			return
+		}
+	}
+}
+
+// consume drains the pump, replaying every page's simulated accounting in
+// page order and collecting the sorted runs, then charges the sort formula
+// on the total surviving row count — the exact charge sequence of a serial
+// morsel scan feeding sortOp — and seats the merge tree.
+func (s *parallelSortOp) consume(ctx *Ctx) {
+	for {
+		it := s.pump.next()
+		if it == nil {
+			break
+		}
+		r := it.(*morselSortResult)
+		replayMorselPage(ctx, s.frag.table.Name, r.res, s.frag.pruner != nil)
+		if r.run != nil {
+			s.total += r.run.buf.Len()
+			if r.run.buf.Len() > 0 {
+				s.runs = append(s.runs, r.run)
+			}
+		}
+	}
+	ctx.Flush() // end of heap, as the serial scan flushes on exhaustion
+	obsv.SortRows.Add(int64(s.total))
+	ctx.chargeSort(float64(s.total))
+	ctx.Flush()
+	if len(s.runs) > 0 {
+		obsv.MergePasses.Inc() // single-level merge: one pass over the runs
+	}
+	s.lt = newLoserTree(s.runs, s.keys)
+}
+
+func (s *parallelSortOp) Next(ctx *Ctx) (*expr.Batch, error) {
+	if !s.started {
+		s.started = true
+		s.consume(ctx)
+	}
+	s.out.Reset()
+	target := ctx.BatchTarget()
+	for s.out.N < target {
+		run, idx := s.lt.pop()
+		if run == nil {
+			break
+		}
+		for c := range s.out.Cols {
+			s.out.Cols[c].Append(run.buf.Cols[c].Get(int(idx)))
+		}
+		s.out.N++
+	}
+	if s.out.N == 0 {
+		return nil, nil
+	}
+	return &s.out, nil
+}
+
+func (s *parallelSortOp) Close(*Ctx) error {
+	s.pump.close()
+	s.runs, s.lt = nil, nil
+	return nil
+}
+
+// loserTree is a tournament tree of losers over K sorted runs: node[i]
+// holds the run that lost the match at internal node i, win the run whose
+// head is the global minimum. pop is O(log K) — one leaf-to-root replay —
+// against O(K) for a naive scan, which matters when a big table yields
+// hundreds of runs.
+type loserTree struct {
+	keys []plan.SortKey
+	runs []*sortedRun
+	node []int // loser run index per internal node; -1 = empty slot
+	win  int
+}
+
+func newLoserTree(runs []*sortedRun, keys []plan.SortKey) *loserTree {
+	lt := &loserTree{keys: keys, runs: runs, win: -1}
+	k := len(runs)
+	lt.node = make([]int, k)
+	for i := range lt.node {
+		lt.node[i] = -1
+	}
+	for i := k - 1; i >= 0; i-- {
+		lt.insert(i)
+	}
+	return lt
+}
+
+// insert seats run i during construction: it walks i's leaf-to-root path,
+// parking the carried winner in the first empty node; once every node on
+// the path holds a loser the carried winner plays through to the root.
+// Inserting leaves in descending order fills all k-1 internal nodes and
+// crowns the overall winner on the final insert.
+func (lt *loserTree) insert(i int) {
+	k := len(lt.runs)
+	w := i
+	for n := (k + i) / 2; n > 0; n /= 2 {
+		if lt.node[n] == -1 {
+			lt.node[n] = w
+			return
+		}
+		if lt.beats(lt.node[n], w) {
+			lt.node[n], w = w, lt.node[n]
+		}
+	}
+	lt.win = w
+}
+
+// replay re-plays the matches on run r's leaf-to-root path after r's head
+// changed, leaving losers at the internal nodes and the winner in win.
+func (lt *loserTree) replay(r int) {
+	k := len(lt.runs)
+	w := r
+	for n := (k + r) / 2; n > 0; n /= 2 {
+		if lt.beats(lt.node[n], w) {
+			lt.node[n], w = w, lt.node[n]
+		}
+	}
+	lt.win = w
+}
+
+// beats reports whether run a's head row orders strictly before run b's
+// head row under (keys, global ordinal). Exhausted runs and empty slots
+// lose to everything.
+func (lt *loserTree) beats(a, b int) bool {
+	if a < 0 {
+		return false
+	}
+	ra := lt.runs[a]
+	if ra.pos >= len(ra.perm) {
+		return false
+	}
+	if b < 0 {
+		return true
+	}
+	rb := lt.runs[b]
+	if rb.pos >= len(rb.perm) {
+		return true
+	}
+	ia, ib := ra.perm[ra.pos], rb.perm[rb.pos]
+	if c := sortCmp(lt.keys, &ra.buf, ia, &rb.buf, ib); c != 0 {
+		return c < 0
+	}
+	return ra.ord[ia] < rb.ord[ib]
+}
+
+// pop returns the run holding the globally smallest head row and that
+// row's physical index in the run's buffer, advancing the run's cursor;
+// nil when every run is exhausted.
+func (lt *loserTree) pop() (*sortedRun, int32) {
+	if lt.win < 0 {
+		return nil, 0
+	}
+	r := lt.runs[lt.win]
+	if r.pos >= len(r.perm) {
+		return nil, 0 // the best head is exhausted: all runs are
+	}
+	idx := r.perm[r.pos]
+	r.pos++
+	lt.replay(lt.win)
+	return r, idx
+}

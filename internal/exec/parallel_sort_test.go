@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ecodb/internal/expr"
+	"ecodb/internal/plan"
+)
+
+func TestCompileParallelSortLowering(t *testing.T) {
+	tb := numbersTable(t, "t", 300)
+	k := tb.Schema.Col("k")
+	chain := plan.NewProject(
+		plan.NewFilter(plan.NewScan(tb, nil),
+			expr.Cmp{Op: expr.LT, L: k, R: expr.Const{V: expr.Int(250)}}),
+		[]expr.Expr{k}, []string{"k"}, []expr.Kind{expr.KindInt})
+	srt := plan.NewSort(chain, plan.SortKey{Col: 0, Desc: true})
+
+	if _, ok := unwrapSpan(CompileParallel(srt, 4)).(*parallelSortOp); !ok {
+		t.Fatalf("sort over fragment compiled to %T, want parallel sort",
+			unwrapSpan(CompileParallel(srt, 4)))
+	}
+	if _, ok := unwrapSpan(CompileParallel(srt, 1)).(*sortOp); !ok {
+		t.Fatalf("workers=1 sort compiled to %T, want the serial operator",
+			unwrapSpan(CompileParallel(srt, 1)))
+	}
+
+	// A sort over a blocking input stays serial; the fragment below the
+	// blocking input still folds into a morsel leaf.
+	overLimit := plan.NewSort(plan.NewLimit(chain, 5), plan.SortKey{Col: 0})
+	root, ok := unwrapSpan(CompileParallel(overLimit, 4)).(*sortOp)
+	if !ok {
+		t.Fatalf("sort over limit compiled to %T", unwrapSpan(CompileParallel(overLimit, 4)))
+	}
+	lim, ok := unwrapSpan(root.input).(*limitOp)
+	if !ok {
+		t.Fatalf("sort input compiled to %T, want limit", unwrapSpan(root.input))
+	}
+	if _, ok := unwrapSpan(lim.input).(*morselExec); !ok {
+		t.Fatalf("limit input compiled to %T, want morsel fragment", unwrapSpan(lim.input))
+	}
+}
+
+func TestCompileParallelProbeLowering(t *testing.T) {
+	build := numbersTable(t, "b", 100)
+	probe := numbersTable(t, "p", 400)
+	pk := probe.Schema.Col("k")
+	probeChain := plan.NewFilter(plan.NewScan(probe, nil),
+		expr.Cmp{Op: expr.LT, L: pk, R: expr.Const{V: expr.Int(350)}})
+	j := plan.NewHashJoin(plan.NewScan(build, nil), probeChain,
+		build.Schema.MustIndex("k"), probe.Schema.MustIndex("k"), nil)
+
+	hj := unwrapSpan(CompileParallel(j, 4)).(*hashJoinOp)
+	if hj.probeFrag == nil || hj.probe != nil {
+		t.Fatalf("fragment probe at workers=4: probeFrag=%v probe=%T, want merged probe",
+			hj.probeFrag, hj.probe)
+	}
+	hj1 := unwrapSpan(CompileParallel(j, 1)).(*hashJoinOp)
+	if hj1.probeFrag != nil || hj1.probe == nil {
+		t.Fatal("workers=1 must keep the serial probe operator")
+	}
+
+	// A blocking probe side cannot fold: the probe stays an operator tree.
+	jb := plan.NewHashJoin(plan.NewScan(build, nil), plan.NewLimit(probeChain, 5),
+		build.Schema.MustIndex("k"), probe.Schema.MustIndex("k"), nil)
+	hjb := unwrapSpan(CompileParallel(jb, 4)).(*hashJoinOp)
+	if hjb.probeFrag != nil || hjb.probe == nil {
+		t.Fatal("probe over limit must not fold into a merged probe")
+	}
+}
+
+// TestLoserTreeMatchesNaiveMerge drives the tournament tree over randomly
+// generated sorted runs and checks the popped sequence against a naive
+// sort of all rows by (key, ordinal) — duplicate keys everywhere, so the
+// ordinal tie-break and the tree's construction both have to be right.
+func TestLoserTreeMatchesNaiveMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := []plan.SortKey{{Col: 0}}
+	for trial := 0; trial < 300; trial++ {
+		nRuns := 1 + rng.Intn(13)
+		type rec struct {
+			key int64
+			ord int64
+		}
+		var all []rec
+		runs := make([]*sortedRun, nRuns)
+		ord := int64(0)
+		for r := range runs {
+			sr := &sortedRun{buf: *expr.NewBatch(1)}
+			n := 1 + rng.Intn(7)
+			for i := 0; i < n; i++ {
+				key := int64(rng.Intn(5)) // heavy duplication
+				sr.buf.Cols[0].Append(expr.Int(key))
+				sr.buf.N++
+				sr.ord = append(sr.ord, ord)
+				all = append(all, rec{key, ord})
+				ord++
+			}
+			sr.perm = make([]int32, n)
+			for i := range sr.perm {
+				sr.perm[i] = int32(i)
+			}
+			sort.Slice(sr.perm, func(i, j int) bool {
+				a, b := sr.perm[i], sr.perm[j]
+				if c := sortCmp(keys, &sr.buf, a, &sr.buf, b); c != 0 {
+					return c < 0
+				}
+				return sr.ord[a] < sr.ord[b]
+			})
+			runs[r] = sr
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].key != all[j].key {
+				return all[i].key < all[j].key
+			}
+			return all[i].ord < all[j].ord
+		})
+		lt := newLoserTree(runs, keys)
+		for i, want := range all {
+			run, idx := lt.pop()
+			if run == nil {
+				t.Fatalf("trial %d: tree exhausted after %d of %d rows", trial, i, len(all))
+			}
+			if got := run.ord[idx]; got != want.ord {
+				t.Fatalf("trial %d row %d: popped ordinal %d, want %d", trial, i, got, want.ord)
+			}
+		}
+		if run, _ := lt.pop(); run != nil {
+			t.Fatalf("trial %d: tree yielded rows past the end", trial)
+		}
+	}
+}
+
+func TestParallelSortEarlyCloseStopsWorkers(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 20000)
+	op := CompileParallel(plan.NewSort(plan.NewScan(tb, nil), plan.SortKey{Col: 0, Desc: true}), 4)
+	if _, ok := unwrapSpan(op).(*parallelSortOp); !ok {
+		t.Fatalf("compiled to %T, want parallel sort", unwrapSpan(op))
+	}
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon before the first Next: Close must stop the worker pool
+	// without deadlocking, and be idempotent.
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelProbeEarlyCloseStopsWorkers(t *testing.T) {
+	ctx, _ := testCtx()
+	build := numbersTable(t, "b", 200)
+	probe := numbersTable(t, "p", 20000)
+	j := plan.NewHashJoin(plan.NewScan(build, nil), plan.NewScan(probe, nil),
+		build.Schema.MustIndex("k"), probe.Schema.MustIndex("k"), nil)
+	op := CompileParallel(j, 4)
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon after the build finished but before probing: Close must stop
+	// the probe worker pool without deadlocking, and be idempotent.
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelSortEmptyHeap(t *testing.T) {
+	ctx, _ := testCtx()
+	tb := numbersTable(t, "t", 0)
+	rows := collect(t, CompileParallel(plan.NewSort(plan.NewScan(tb, nil), plan.SortKey{Col: 0}), 4), ctx)
+	if len(rows) != 0 {
+		t.Fatalf("sort over empty heap produced %d rows", len(rows))
+	}
+}
+
+// TestParallelAggValueBudgetSealsRuns shrinks the SUM/AVG value-list
+// budget far enough that every run seals partial tables at page
+// boundaries, and requires the outcome to remain bit-identical to the
+// serial path at every worker count.
+func TestParallelAggValueBudgetSealsRuns(t *testing.T) {
+	gt := groupedTable(t, "g", 4000)
+	gk, gx := gt.Schema.Col("k"), gt.Schema.Col("x")
+	p := plan.NewAgg(
+		plan.NewScan(gt, expr.Cmp{Op: expr.GE, L: gk, R: expr.Const{V: expr.Int(10)}}),
+		[]int{gt.Schema.MustIndex("g")}, fullAggSpecs(gx))
+	serial := runWorkers(t, p, 1, false)
+	if len(serial.rows) == 0 {
+		t.Fatal("serial run produced no rows; the test would not bite")
+	}
+	for _, budget := range []int{1, 7, 64} {
+		for _, w := range []int{2, 4, 8} {
+			got := runWorkersTuned(t, p, w, false, func(op Operator) {
+				unwrapSpan(op).(*parallelAggOp).valueBudget = budget
+			})
+			assertOutcomesIdentical(t, serial, got, fmt.Sprintf("budget=%d workers=%d", budget, w))
+		}
+	}
+}

@@ -28,6 +28,14 @@ type outcome struct {
 // workers <= 1 exercises the serial Compile path.
 func runWorkers(t *testing.T, p plan.Node, workers int, withPool bool) outcome {
 	t.Helper()
+	return runWorkersTuned(t, p, workers, withPool, nil)
+}
+
+// runWorkersTuned is runWorkers with a hook to adjust the compiled
+// operator tree before execution (e.g. shrink the parallel agg's value
+// budget).
+func runWorkersTuned(t *testing.T, p plan.Node, workers int, withPool bool, mut func(Operator)) outcome {
+	t.Helper()
 	ctx, clock := testCtx()
 	var out outcome
 	if withPool {
@@ -37,6 +45,9 @@ func runWorkers(t *testing.T, p plan.Node, workers int, withPool bool) outcome {
 	}
 	ctx.PageHook = func() { out.hooks++ }
 	op := CompileParallel(p, workers)
+	if mut != nil {
+		mut(op)
+	}
 	if err := Drain(ctx, op, func(b *expr.Batch) error {
 		out.rows = b.AppendRowsTo(out.rows)
 		return nil
@@ -144,7 +155,10 @@ func fullAggSpecs(x expr.Expr) []plan.AggSpec {
 // reproduce bit-identically: bare and filtered scans (fast-path and
 // interpreted predicates), filter→project chains folded into the
 // fragment, parallel pre-aggregation (grouped, global, empty-input,
-// all-NULL-key), and partitioned-build joins under parallel leaves.
+// all-NULL-key), partitioned-build joins with merged parallel probes
+// (NULL/duplicate probe keys, empty probe side), and parallel sorts
+// (ASC/DESC, NULL keys at either end, duplicate keys, projected
+// fragments, empty input, single page).
 func parallelPlans(t *testing.T) map[string]plan.Node {
 	t.Helper()
 	tb := numbersTable(t, "t", 5000)
@@ -154,6 +168,7 @@ func parallelPlans(t *testing.T) map[string]plan.Node {
 	other := numbersTable(t, "o", 10000)
 	gt := groupedTable(t, "g", 4000)
 	nk := allNullKeyTable(t, "nk", 900)
+	onePage := numbersTable(t, "p1", 50)
 	k, v := tb.Schema.Col("k"), tb.Schema.Col("v")
 	gk, gx := gt.Schema.Col("k"), gt.Schema.Col("x")
 	interp := expr.And{Terms: []expr.Expr{
@@ -203,8 +218,34 @@ func parallelPlans(t *testing.T) map[string]plan.Node {
 			plan.NewScan(gt, expr.Cmp{Op: expr.LT, L: gk, R: expr.Const{V: expr.Int(300)}}),
 			gt.Schema.MustIndex("g"), gt.Schema.MustIndex("g"), nil),
 			expr.Cmp{Op: expr.LT, L: expr.Col{Idx: 1}, R: expr.Col{Idx: 4}}),
+		"join-empty-probe-side": plan.NewHashJoin(
+			plan.NewScan(tb, nil),
+			plan.NewScan(gt, expr.Cmp{Op: expr.LT, L: gk, R: expr.Const{V: expr.Int(-1)}}),
+			tb.Schema.MustIndex("k"), gt.Schema.MustIndex("k"), nil),
 		"sort-limit": plan.NewLimit(
 			plan.NewSort(plan.NewScan(tb, nil), plan.SortKey{Col: 0, Desc: true}), 37),
+		// g ascending puts its NULL keys first and repeats five group names
+		// (duplicate primaries); x descending puts its NULL measures last.
+		"sort-multi-key-nulls": plan.NewSort(plan.NewScan(gt, nil),
+			plan.SortKey{Col: gt.Schema.MustIndex("g")},
+			plan.SortKey{Col: gt.Schema.MustIndex("x"), Desc: true}),
+		// A single heavily duplicated DESC key: almost every comparison ties
+		// and falls through to arrival order, the stability property the
+		// parallel sort must reproduce through global row ordinals.
+		"sort-desc-dup-keys": plan.NewSort(
+			plan.NewScan(gt, expr.Cmp{Op: expr.GE, L: gk, R: expr.Const{V: expr.Int(500)}}),
+			plan.SortKey{Col: gt.Schema.MustIndex("g"), Desc: true}),
+		"sort-projected-fragment": plan.NewSort(
+			plan.NewProject(
+				plan.NewFilter(plan.NewScan(tb, nil), interp),
+				[]expr.Expr{expr.Arith{Op: expr.Add, L: k, R: v}, k},
+				[]string{"sum", "k"}, []expr.Kind{expr.KindFloat, expr.KindInt}),
+			plan.SortKey{Col: 0, Desc: true}),
+		"sort-empty-input": plan.NewSort(
+			plan.NewScan(gt, expr.Cmp{Op: expr.LT, L: gk, R: expr.Const{V: expr.Int(-1)}}),
+			plan.SortKey{Col: gt.Schema.MustIndex("g")}),
+		"sort-single-page": plan.NewSort(plan.NewScan(onePage, nil),
+			plan.SortKey{Col: 0, Desc: true}),
 	}
 }
 
@@ -217,7 +258,11 @@ func withResidual(j *plan.HashJoin, residual expr.Expr) *plan.HashJoin {
 
 func TestParallelMatchesSerialBitIdentically(t *testing.T) {
 	// Shapes whose serial run legitimately produces no rows.
-	emptyOK := map[string]bool{"group-agg-empty-input": true}
+	emptyOK := map[string]bool{
+		"group-agg-empty-input": true,
+		"sort-empty-input":      true,
+		"join-empty-probe-side": true,
+	}
 	for name, p := range parallelPlans(t) {
 		for _, withPool := range []bool{false, true} {
 			serial := runWorkers(t, p, 1, withPool)
@@ -235,7 +280,10 @@ func TestParallelMatchesSerialBitIdentically(t *testing.T) {
 
 func TestParallelRepeatedRunsBitIdentical(t *testing.T) {
 	plans := parallelPlans(t)
-	for _, name := range []string{"filter-project-chain", "group-agg-over-fragment"} {
+	for _, name := range []string{
+		"filter-project-chain", "group-agg-over-fragment",
+		"sort-desc-dup-keys", "join-dup-and-null-keys-residual",
+	} {
 		p := plans[name]
 		first := runWorkers(t, p, 4, true)
 		for i := 0; i < 3; i++ {

@@ -474,6 +474,40 @@ func TestParallelAggAblationChargingNeutral(t *testing.T) {
 	}
 }
 
+func TestParallelSortAblationChargingNeutral(t *testing.T) {
+	cfg := shorten(lightCommercial(), 0.01)
+	r := ParallelSort(cfg, true)
+	if len(r.Arms) != len(ParallelSortWorkers) {
+		t.Fatalf("arms = %d", len(r.Arms))
+	}
+	// The load-bearing property: worker count must not move a single
+	// simulated joule or second. Wall-clock speedup is host-dependent
+	// (single-core runners see none), so it is reported, not asserted.
+	if !r.SimulatedIdentical {
+		t.Error("worker count leaked into charging: simulated numbers differ across arms")
+	}
+	if r.Arms[0].MergePasses != 0 {
+		t.Errorf("serial arm recorded %d merge passes, want 0", r.Arms[0].MergePasses)
+	}
+	for _, a := range r.Arms[1:] {
+		if a.MergePasses == 0 {
+			t.Errorf("workers=%d arm recorded no merge passes — the parallel sort never engaged", a.Workers)
+		}
+		if a.SortRows != r.Arms[0].SortRows {
+			t.Errorf("workers=%d arm sorted %d rows vs serial %d", a.Workers, a.SortRows, r.Arms[0].SortRows)
+		}
+	}
+	if r.Arms[0].PerQuery <= 0 {
+		t.Error("registry joules delta should be positive")
+	}
+	if !strings.Contains(r.String(), "loser-tree merge") {
+		t.Fatal("report should name the mode")
+	}
+	if !strings.Contains(ParallelSort(cfg, false).String(), "control arm") {
+		t.Fatal("control report should name the mode")
+	}
+}
+
 func TestOptimizerAblation(t *testing.T) {
 	cfg := Config{SF: 0.05, Amplification: 20, Seed: 42, ProtocolRuns: 1}
 	if testing.Short() {

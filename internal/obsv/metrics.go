@@ -253,6 +253,9 @@ const (
 	MetricPoolMisses     = "storage_pool_misses_total"
 	MetricPoolResident   = "storage_pool_resident_bytes" // gauge
 	MetricPagesPruned    = "exec_pages_pruned_total"
+	MetricSortRows       = "exec_sort_rows_total"
+	MetricMergePasses    = "exec_sort_merge_passes_total"
+	MetricProbeMorsels   = "exec_join_probe_morsels_total"
 	MetricSharedAttaches = "scanshare_attaches_total"
 	MetricSharedSurfaced = "scanshare_pages_surfaced_total"
 	MetricSharedPasses   = "scanshare_passes_total"
@@ -266,6 +269,9 @@ var (
 	PoolReads      = Default().Counter(MetricPoolReads)
 	PoolMisses     = Default().Counter(MetricPoolMisses)
 	PagesPruned    = Default().Counter(MetricPagesPruned)
+	SortRows       = Default().Counter(MetricSortRows)
+	MergePasses    = Default().Counter(MetricMergePasses)
+	ProbeMorsels   = Default().Counter(MetricProbeMorsels)
 	SharedAttaches = Default().Counter(MetricSharedAttaches)
 	SharedSurfaced = Default().Counter(MetricSharedSurfaced)
 	SharedPasses   = Default().Counter(MetricSharedPasses)

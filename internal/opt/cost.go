@@ -155,7 +155,11 @@ func (e *est) aggCost(inRows, groups float64) cycles {
 	return c
 }
 
-// sortCost estimates an n·log₂n comparison sort.
+// sortCost estimates an n·log₂n comparison sort — the same formula
+// exec.Ctx.chargeSort charges at runtime, so the estimate is exact up to
+// the cardinality guess. Parallel sort lowering never changes it: workers
+// only move real comparison work, and the coordinator charges the serial
+// formula on the total surviving row count.
 func (e *est) sortCost(rows float64) cycles {
 	var c cycles
 	if rows > 1 {

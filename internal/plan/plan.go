@@ -229,7 +229,12 @@ type SortKey struct {
 	Desc bool
 }
 
-// Sort orders its input.
+// Sort orders its input. Keys compare with expr.Compare semantics (NULLs
+// smallest, so ASC puts them first and DESC last); ties keep input order.
+// When the input is a morsel-eligible scan→filter→project fragment,
+// CompileParallel lowers Sort to worker-side sorted-run generation with a
+// loser-tree merge; output, simulated durations, and joules stay
+// bit-identical to the serial operator at any worker count.
 type Sort struct {
 	Input Node
 	Keys  []SortKey

@@ -236,6 +236,52 @@ func RevenueByQuantityQuery(cat *catalog.Catalog, maxQty int64) plan.Node {
 		})
 }
 
+// OrderedRevenueQuery builds the sort-dominated analytical shape: per-row
+// revenue over a quantity-bounded slice of lineitem, ordered by revenue,
+//
+//	SELECT l_extendedprice * (1 - l_discount) AS revenue, l_orderkey
+//	FROM lineitem WHERE l_quantity < :maxQty
+//	ORDER BY revenue DESC
+//
+// — a Sort sitting directly on a scan→filter→project fragment, so the
+// morsel-parallel sort path (worker-side run generation + loser-tree
+// merge) applies.
+func OrderedRevenueQuery(cat *catalog.Catalog, maxQty int64) plan.Node {
+	t := cat.MustTable(Lineitem)
+	price := t.Schema.Col("l_extendedprice")
+	disc := t.Schema.Col("l_discount")
+	revenue := expr.Arith{
+		Op: expr.Mul,
+		L:  price,
+		R:  expr.Arith{Op: expr.Sub, L: expr.Const{V: expr.Float(1)}, R: disc},
+	}
+	proj := plan.NewProject(
+		plan.NewScan(t, expr.Cmp{
+			Op: expr.LT,
+			L:  t.Schema.Col("l_quantity"),
+			R:  expr.Const{V: expr.Int(maxQty)},
+		}),
+		[]expr.Expr{revenue, t.Schema.Col("l_orderkey")},
+		[]string{"revenue", "l_orderkey"},
+		[]expr.Kind{expr.KindFloat, expr.KindInt},
+	)
+	return plan.NewSort(proj, plan.SortKey{Col: 0, Desc: true})
+}
+
+// OrderedRevenueWorkload builds n sort queries with distinct quantity
+// bounds (n ≤ 40 keeps every query selective below l_quantity's 1..50
+// domain while leaving real per-query sort work).
+func OrderedRevenueWorkload(cat *catalog.Catalog, n int) []plan.Node {
+	if n < 1 || n > 40 {
+		panic(fmt.Sprintf("tpch: ordered revenue workload size %d outside [1,40]", n))
+	}
+	out := make([]plan.Node, n)
+	for i := range out {
+		out[i] = OrderedRevenueQuery(cat, int64(50-i))
+	}
+	return out
+}
+
 // RevenueAggWorkload builds n aggregation queries with distinct quantity
 // bounds (n ≤ 40 keeps every query selective below l_quantity's 1..50
 // domain while leaving real per-query work).

@@ -139,6 +139,80 @@ func BenchmarkJoinBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSort runs an ORDER BY revenue DESC over a projected
+// lineitem fragment through the parallel sort: workers run the fragment,
+// copy survivors into run-local buffers, and sort each run by
+// (keys, global ordinal); the coordinator merges the sorted runs with a
+// loser tree. The per-row comparator work — the dominant cost of the
+// serial sortOp — moves worker-side, so the acceptance bar is ≥1.5× at 4
+// workers on a ≥4-core host; output order, simulated durations, and
+// joules stay bit-identical at every worker count (see the sort plans in
+// TestParallelMatchesSerialBitIdentically). Single-core hosts see no
+// speedup, only unchanged results.
+func BenchmarkParallelSort(b *testing.B) {
+	tb := benchTable(b)
+	price := tb.Schema.Col("l_extendedprice")
+	disc := tb.Schema.Col("l_discount")
+	revenue := expr.Arith{Op: expr.Mul, L: price,
+		R: expr.Arith{Op: expr.Sub, L: expr.Const{V: expr.Float(1)}, R: disc}}
+	p := plan.NewSort(
+		plan.NewProject(
+			plan.NewFilter(plan.NewScan(tb, nil), expr.Cmp{
+				Op: expr.LT, L: tb.Schema.Col("l_quantity"), R: expr.Const{V: expr.Int(45)}}),
+			[]expr.Expr{revenue, tb.Schema.Col("l_orderkey")},
+			[]string{"revenue", "l_orderkey"}, []expr.Kind{expr.KindFloat, expr.KindInt}),
+		plan.SortKey{Col: 0, Desc: true})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rows int64
+			for i := 0; i < b.N; i++ {
+				ctx := benchCtx()
+				rows = 0
+				op := exec.CompileParallel(p, workers)
+				if err := exec.Drain(ctx, op, func(batch *expr.Batch) error {
+					rows += int64(batch.Len())
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				ctx.Flush()
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
+}
+
+// BenchmarkJoinProbe measures the morsel-parallel hash-join probe: a tiny
+// supplier build (single-map path) probed by the whole lineitem table on
+// l_suppkey, so worker-side probe hashing, matching, and output assembly
+// dominate. The coordinator only replays accounting and merges output
+// batches in morsel order. Expect ≥1.5× at 4 workers on a ≥4-core host;
+// simulated accounting is worker-count invariant.
+func BenchmarkJoinProbe(b *testing.B) {
+	li, supp := benchJoinTables(b)
+	p := plan.NewHashJoin(
+		plan.NewScan(supp, nil), plan.NewScan(li, nil),
+		supp.Schema.MustIndex("s_suppkey"), li.Schema.MustIndex("l_suppkey"), nil)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rows int64
+			for i := 0; i < b.N; i++ {
+				ctx := benchCtx()
+				rows = 0
+				op := exec.CompileParallel(p, workers)
+				if err := exec.Drain(ctx, op, func(batch *expr.Batch) error {
+					rows += int64(batch.Len())
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				ctx.Flush()
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
+}
+
 // BenchmarkParallelScanProject adds a projection stage to the fragment —
 // per-row arithmetic plus output-row assembly that all runs worker-side.
 func BenchmarkParallelScanProject(b *testing.B) {
