@@ -1,12 +1,14 @@
 // Command ecodb regenerates the paper's tables and figures on the
-// simulated system under test.
+// simulated system under test, and serves the engine over HTTP.
 //
 // Usage:
 //
 //	ecodb [flags] <experiment>...
+//	ecodb serve [flags]
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig6hash,
-// warmcold, all.
+// warmcold, server, all. The serve subcommand starts the multi-tenant
+// query server (see docs/OPERATIONS.md).
 //
 // Flags:
 //
@@ -42,6 +44,14 @@ var (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		// The query-server subcommand owns its flags; see serve.go.
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "ecodb:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -106,7 +116,12 @@ experiments:
             pruning + dictionary strings (see -zone-maps, -dict-strings)
   optimizer ablation: cost-and-energy optimizer objectives on a TPC-H Q5
             batch — hand-lowered vs latency-optimal vs joules-optimal plans
+  server    ablation: query-server admission policies under open-loop load —
+            latency-vs-joules Pareto at 10²–10⁴ QPS (see docs/OPERATIONS.md)
   all       every paper experiment (table1..fig6, warmcold)
+
+subcommands:
+  serve     HTTP query server with admission control (ecodb serve -help)
 
 flags:
 `)
@@ -167,8 +182,10 @@ func runOne(name string) error {
 		out = experiments.Compression(override(experiments.DefaultCommercialConfig()), *flagZoneMaps, *flagDict)
 	case "optimizer":
 		out = experiments.Optimizer(override(experiments.DefaultCommercialConfig()))
+	case "server":
+		out = experiments.Server(override(experiments.DefaultServerConfig()))
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar parallelagg parallelsort compression optimizer all; flags go before the experiment name)", name)
+		return fmt.Errorf("unknown experiment %q (try: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig6hash warmcold capvsuc mechanisms sharedscan columnar parallelagg parallelsort compression optimizer server all; flags go before the experiment name)", name)
 	}
 	fmt.Println(out)
 	fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

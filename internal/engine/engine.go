@@ -41,6 +41,13 @@ type Engine struct {
 	// Simulated results, durations, and joules are byte-identical either
 	// way: the profiler only observes the charges the engine already makes.
 	profiling bool
+	// queuedAt/queued carry one statement's admission-queue wait from
+	// QueryQueued (or SharedSession.Admit) into startQueryPar, which
+	// consumes them. Like the rest of the engine this follows the
+	// cooperative single-threaded execution model — the fields are only
+	// ever set and cleared around one statement start.
+	queuedAt sim.Time
+	queued   bool
 }
 
 // Machine is the slice of the simulated system an engine needs: a CPU to
@@ -190,6 +197,18 @@ func (e *Engine) Query(p plan.Node) *Rows {
 	return e.startQuery(exec.CompileParallel(p, e.prof.Workers))
 }
 
+// QueryQueued is Query for a statement that waited in an admission queue
+// since queuedAt (a server-side delay, not new simulated work): when
+// profiling is on, the statement's profile gains a leading queue span
+// covering [queuedAt, start], so EXPLAIN ANALYZE shows where response time
+// went before execution began. The wait is observation only — no cycles,
+// no joules — because the machine spent that window running other
+// statements, whose profiles own its energy.
+func (e *Engine) QueryQueued(p plan.Node, queuedAt sim.Time) *Rows {
+	e.queuedAt, e.queued = queuedAt, true
+	return e.Query(p)
+}
+
 // startQuery charges statement overhead, builds the execution context, and
 // opens op as a streaming result — the shared tail of Query and the
 // shared-scan admission path (see SharedSession).
@@ -213,6 +232,9 @@ func (e *Engine) startQueryPar(op exec.Operator, par int, pi *obsv.PlanInfo) *Ro
 	// abandoned iterator can never leave the shared CPU misconfigured.
 	defer c.SetParallelism(1)
 
+	queuedAt, queued := e.queuedAt, e.queued
+	e.queuedAt, e.queued = 0, false
+
 	r := &Rows{e: e, par: par, start: c.Clock().Now()}
 	if e.pool != nil {
 		r.poolBefore = e.pool.Stats()
@@ -221,6 +243,15 @@ func (e *Engine) startQueryPar(op exec.Operator, par int, pi *obsv.PlanInfo) *Ro
 		r.obs = obsv.NewCollector("statement", r.start)
 		if pi != nil {
 			r.obs.SetPlan(pi)
+		}
+		if queued && queuedAt <= r.start {
+			// The admission-queue wait renders as the statement's first
+			// child span. Its Seconds are set directly — no charge backs
+			// them, because queue time is other statements' execution time
+			// and their profiles already own that energy.
+			qs := r.obs.OpenSpan(obsv.KindQueue, "QueueWait", "", queuedAt)
+			qs.Seconds = r.start.Sub(queuedAt).Seconds()
+			r.obs.Pop(r.start)
 		}
 		// The observer is installed only while this statement's work runs
 		// (bracketed here and in Next, exactly like parallelism), so

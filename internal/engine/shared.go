@@ -5,6 +5,7 @@ import (
 	"ecodb/internal/exec"
 	"ecodb/internal/plan"
 	"ecodb/internal/scanshare"
+	"ecodb/internal/sim"
 )
 
 // SharedSession is the shared-scan admission path: streaming queries
@@ -27,6 +28,25 @@ type SharedSession struct {
 	// expected is the admission-time concurrency hint the optimizer costs
 	// the shared access path with; see SetExpectedConcurrency.
 	expected int
+	// prio is the attach priority of the statement currently being
+	// admitted (consumed by sharedLeaf during compilation; see Admit).
+	prio int
+}
+
+// AdmitOpts carries per-statement admission metadata from a query server
+// into the shared-scan path. The zero value is a plain Query.
+type AdmitOpts struct {
+	// Priority is the statement's attach priority, recorded on its
+	// shared-pass consumers (scanshare.Consumer.Priority). The pass itself
+	// is demand-driven and symmetric; priority informs the admission
+	// order and the drain schedule of whoever pulls the streams (the
+	// server drains higher-priority statements more often per round).
+	Priority int
+	// QueuedAt, with Queued true, is when the statement entered the
+	// admission queue; see Engine.QueryQueued for what it does to the
+	// statement's profile.
+	QueuedAt sim.Time
+	Queued   bool
 }
 
 // NewSharedSession returns a shared-scan session over the engine's tables.
@@ -57,6 +77,20 @@ func (s *SharedSession) Coordinator(t *catalog.Table) *scanshare.Coordinator {
 // pass before the rest of the batch is admitted (extra laps, see
 // workload.RunShared).
 func (s *SharedSession) Query(p plan.Node) *Rows {
+	return s.Admit(p, AdmitOpts{})
+}
+
+// Admit is Query with admission metadata: the statement's shared-pass
+// consumers attach with opts.Priority, and a queue wait (opts.Queued) is
+// recorded on the statement's profile exactly as Engine.QueryQueued does.
+// Simulated results, durations, and joules are identical to Query for any
+// opts — admission metadata is policy and observation, never physics.
+func (s *SharedSession) Admit(p plan.Node, opts AdmitOpts) *Rows {
+	s.prio = opts.Priority
+	defer func() { s.prio = 0 }()
+	if opts.Queued {
+		s.e.queuedAt, s.e.queued = opts.QueuedAt, true
+	}
 	// With an objective enabled, the optimizer weighs the shared attach
 	// against a private scan for this plan: sharing amortizes page
 	// streaming across the expected concurrency (energy down) while
@@ -72,9 +106,9 @@ func (s *SharedSession) Query(p plan.Node) *Rows {
 }
 
 // sharedLeaf compiles one scan leaf as an attach to the session's shared
-// pass over that table.
+// pass over that table, at the priority of the statement being admitted.
 func (s *SharedSession) sharedLeaf(scan *plan.Scan) exec.Operator {
-	return exec.NewSharedScan(s.Coordinator(scan.Table), scan.Table, scan.Filter)
+	return exec.NewSharedScanWith(s.Coordinator(scan.Table), scan.Table, scan.Filter, s.prio)
 }
 
 // SetExpectedConcurrency tells the optimizer how many queries the caller

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ecodb/internal/server"
+)
+
+// TestServerAblation pins the acceptance bar for the query-server
+// experiment: at the highest offered load, shared admission sustains at
+// least 10³ statements per simulated second and lands strictly below
+// private admission on joules per query.
+func TestServerAblation(t *testing.T) {
+	r := Server(DefaultServerConfig())
+	for _, p := range r.Points {
+		if p.Completed != r.N {
+			t.Fatalf("%v/%s completed %d of %d", p.QPS, p.Policy, p.Completed, r.N)
+		}
+	}
+	shared := r.Point(10000, server.PolicyShared)
+	private := r.Point(10000, server.PolicyPrivate)
+	if shared == nil || private == nil {
+		t.Fatalf("missing 10k points: %+v", r.Points)
+	}
+	if got := shared.AchievedQPS(); got < 1000 {
+		t.Fatalf("shared admission achieved %.0f QPS at 10k offered, want >= 1000", got)
+	}
+	if shared.JoulesPerQuery() >= private.JoulesPerQuery() {
+		t.Fatalf("shared J/query %.4f not below private %.4f",
+			shared.JoulesPerQuery(), private.JoulesPerQuery())
+	}
+	out := r.String()
+	for _, want := range []string{"offered", "policy", "J/query", "Pareto"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServerDeterminism: two identical ablation sweeps produce identical
+// joules and response times — the bit-identity contract at experiment
+// granularity.
+func TestServerDeterminism(t *testing.T) {
+	a := Server(DefaultServerConfig())
+	b := Server(DefaultServerConfig())
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts diverge: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		if pa.Joules != pb.Joules || pa.MeanResponse != pb.MeanResponse || pa.End != pb.End {
+			t.Fatalf("point %d diverges: %+v vs %+v", i, pa.OpenLoopResult, pb.OpenLoopResult)
+		}
+	}
+}

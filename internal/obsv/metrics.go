@@ -259,6 +259,20 @@ const (
 	MetricSharedAttaches = "scanshare_attaches_total"
 	MetricSharedSurfaced = "scanshare_pages_surfaced_total"
 	MetricSharedPasses   = "scanshare_passes_total"
+
+	// Query-server metrics (internal/server). Admitted = taken off the
+	// admission queue and executed; rejected = bounced at the bounded queue.
+	MetricServerSessions       = "server_sessions_total"
+	MetricServerQueued         = "server_queued_total" // statements that waited > 0 simulated time
+	MetricServerRejected       = "server_rejected_total"
+	MetricServerBatches        = "server_flush_batches_total"
+	MetricServerDeadlineMisses = "server_deadline_misses_total"
+	MetricServerQueueDepth     = "server_queue_depth"           // gauge: statements waiting
+	MetricServerActive         = "server_active_sessions"       // gauge: admitted, not yet responded
+	MetricServerQueueWait      = "server_queue_wait_seconds"    // histogram, simulated
+	MetricServerPolicyJoules   = "server_policy_joules_total."  // + admission policy suffix
+	MetricServerTenantQueries  = "server_tenant_queries_total." // + tenant suffix
+	MetricServerTenantJoules   = "server_tenant_joules_total."  // + tenant suffix
 )
 
 // Hot-path metrics, resolved once so charging sites pay a single atomic add.

@@ -50,7 +50,7 @@ func renderSpan(b *strings.Builder, s *Span, head, tail string, total float64) {
 }
 
 func renderRows(s *Span) string {
-	if s.Kind == KindStatement || s.Kind == KindResult {
+	if s.Kind == KindStatement || s.Kind == KindResult || s.Kind == KindQueue {
 		return ""
 	}
 	r := fmt.Sprintf("rows=%d", s.Rows)

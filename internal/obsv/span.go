@@ -18,6 +18,7 @@ const (
 	KindFilter // a standalone (unfused) filter — optimizer estimates only
 	KindProject
 	KindResult // the server→client result path charged at statement finish
+	KindQueue  // admission-queue wait before the statement started (server path)
 )
 
 func (k Kind) String() string {
@@ -42,6 +43,8 @@ func (k Kind) String() string {
 		return "project"
 	case KindResult:
 		return "result"
+	case KindQueue:
+		return "queue"
 	}
 	return "unknown"
 }

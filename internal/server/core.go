@@ -1,0 +1,624 @@
+// Package server is ecoDB's multi-tenant query front end: an admission
+// scheduler plus an HTTP layer that lets thousands of concurrent client
+// sessions share one simulated machine. Statements are parsed on their
+// own connection goroutines but every engine touch — admission, execution,
+// clock advance — happens on a single scheduler goroutine, preserving the
+// cooperative single-threaded execution model the whole simulation is
+// built on.
+//
+// Admission is the energy lever. Instead of running each statement the
+// moment it arrives (the private-scan baseline), the scheduler holds
+// best-effort statements in a bounded queue until a co-admission window
+// fills, then admits the batch through engine.SharedSession so all of its
+// scans ride each table's circular pass: page I/O and page streaming are
+// charged once per pass no matter how many statements consume it. Three
+// policies are provided — see Policy. Deadline-urgent statements bypass
+// the window; everything else waits for the next flush batch.
+//
+// The charging-model invariant carries through: for a fixed admission and
+// pull order, simulated results, durations, and joules are bit-identical
+// to the embedded SharedSession path (workload.RunShared). Admission
+// metadata — priorities, queue timestamps, profiling — is policy and
+// observation, never physics. The serial-replay test in this package and
+// the invariants section of docs/ARCHITECTURE.md pin this down.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ecodb/internal/core"
+	"ecodb/internal/engine"
+	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
+	"ecodb/internal/plan"
+	"ecodb/internal/sim"
+	"ecodb/internal/sql"
+)
+
+// Policy selects how the scheduler turns the admission queue into engine
+// work.
+type Policy int
+
+const (
+	// PolicyPrivate is the baseline: statements execute one at a time in
+	// arrival order through Engine.Query — private scans, no sharing.
+	PolicyPrivate Policy = iota
+	// PolicyShared gathers statements into co-admission windows (flush
+	// batches) and admits each batch through the shared-scan session,
+	// ordered by attach priority (higher first, arrival order within a
+	// priority). The drain is priority-weighted round-robin: a statement
+	// at priority p gets 1+max(0,p) pulls per round, so it finishes its
+	// lap sooner without changing what anything is charged.
+	PolicyShared
+	// PolicyDeadline is PolicyShared with earliest-deadline-first batch
+	// order, and statements whose remaining budget is at or below
+	// Config.UrgentSlack bypass the flush window — the batch flushes
+	// immediately rather than waiting for more co-admissions.
+	PolicyDeadline
+)
+
+// ParsePolicy maps a flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "private":
+		return PolicyPrivate, nil
+	case "shared":
+		return PolicyShared, nil
+	case "deadline":
+		return PolicyDeadline, nil
+	}
+	return 0, fmt.Errorf("server: unknown admission policy %q (want private, shared or deadline)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyPrivate:
+		return "private"
+	case PolicyShared:
+		return "shared"
+	case PolicyDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config tunes the admission scheduler.
+type Config struct {
+	// Policy is the admission policy.
+	Policy Policy
+	// MaxInflight bounds the admission queue: statements accepted but not
+	// yet responded to. A statement arriving at the bound is rejected with
+	// ErrOverloaded. Zero means zero capacity — every statement is
+	// rejected — which is the honest reading, not a default; use
+	// DefaultConfig for sensible values.
+	MaxInflight int
+	// FlushThreshold flushes a co-admission window as soon as this many
+	// statements are waiting (shared and deadline policies).
+	FlushThreshold int
+	// FlushWait bounds how long a statement waits for co-admission before
+	// its window flushes anyway. In the open-loop harness this is
+	// simulated time; in live serving the scheduler waits the same span of
+	// real time (the simulated clock does not advance between batches).
+	FlushWait sim.Duration
+	// UrgentSlack is the deadline policy's bypass threshold: a statement
+	// whose remaining budget is ≤ UrgentSlack (or already negative)
+	// flushes the window immediately.
+	UrgentSlack sim.Duration
+	// Window caps how many statements one flush batch co-admits.
+	Window int
+	// Profiling runs every statement with the engine profiler on, which
+	// partitions each co-admitted window's energy exactly per statement
+	// (per-tenant and per-response joules become exact instead of an even
+	// split). Observation never charges, so this is bit-neutral.
+	Profiling bool
+}
+
+// DefaultConfig returns the serving defaults: shared admission, a deep
+// queue, flush at 4 waiting statements or 20 ms, exact energy attribution.
+func DefaultConfig() Config {
+	return Config{
+		Policy:         PolicyShared,
+		MaxInflight:    4096,
+		FlushThreshold: 4,
+		FlushWait:      0.020,
+		UrgentSlack:    0.020,
+		Window:         64,
+		Profiling:      true,
+	}
+}
+
+// StmtKind distinguishes what a request wants run.
+type StmtKind int
+
+const (
+	// StmtQuery executes the bound plan and returns rows.
+	StmtQuery StmtKind = iota
+	// StmtExplain renders the optimizer's plan for SQL without executing.
+	StmtExplain
+	// StmtAnalyze executes the bound plan with profiling forced on and
+	// returns the rendered execution profile (EXPLAIN ANALYZE), queue-wait
+	// span included.
+	StmtAnalyze
+)
+
+// Request is one statement submitted for admission.
+type Request struct {
+	// ID labels the statement in the admission log; defaults to "s<seq>".
+	ID string
+	// Tenant attributes the statement's per-tenant accounting; defaults
+	// to "default".
+	Tenant string
+	// SQL is the statement text (used by StmtExplain, which re-plans it).
+	SQL string
+	// Plan is the bound plan for StmtQuery and StmtAnalyze.
+	Plan plan.Node
+	// Kind is what to do with the statement.
+	Kind StmtKind
+	// Priority is the attach priority for shared admission: higher
+	// priorities are admitted earlier in the batch and drained more often
+	// per round. Zero is best-effort.
+	Priority int
+	// Deadline, when positive, is the statement's simulated-time response
+	// budget measured from admission. The deadline policy orders by it
+	// and lets urgent statements bypass the flush window; every policy
+	// reports misses.
+	Deadline sim.Duration
+	// CollectRows materializes result rows into the response (the HTTP
+	// path); measurement harnesses leave it false and keep cardinalities.
+	CollectRows bool
+}
+
+// Response is one statement's outcome.
+type Response struct {
+	ID      string
+	Columns []string
+	Rows    []expr.Row
+	RowsOut int64
+	// Explain carries the rendered plan or execution profile for
+	// StmtExplain / StmtAnalyze.
+	Explain string
+	// QueueWait is the simulated time between admission-queue entry and
+	// statement start; Duration the execution window; Response their sum
+	// (queue entry to completion).
+	QueueWait sim.Duration
+	Duration  sim.Duration
+	Response  sim.Duration
+	// Joules is the statement's simulated CPU energy: its profiled share
+	// of the co-admitted window when Config.Profiling is on, an even split
+	// of the window otherwise, and the exact statement trace window under
+	// the private policy.
+	Joules float64
+	// DeadlineMiss reports a statement that completed after its deadline.
+	DeadlineMiss bool
+	Err          error
+}
+
+// ErrOverloaded rejects a statement arriving at a full admission queue.
+var ErrOverloaded = errors.New("server: admission queue full")
+
+// ErrDraining rejects a statement arriving after shutdown began.
+var ErrDraining = errors.New("server: draining")
+
+// AdmittedBatch is one flush batch in the admission log: when it was
+// admitted and the statement IDs in admission order. Replaying the log —
+// advance the clock to At, co-admit the IDs' plans through a shared
+// session in order, drain round-robin — reproduces the run's simulated
+// energy exactly (the bit-identity contract; see the serial-replay test).
+type AdmittedBatch struct {
+	At     sim.Time
+	Policy Policy
+	IDs    []string
+}
+
+// pending is one accepted, unexecuted statement.
+type pending struct {
+	req         Request
+	id          string
+	tenant      string
+	seq         int64
+	arrive      sim.Time // queue-entry instant, simulated
+	deadline    sim.Time // absolute; valid when hasDeadline
+	hasDeadline bool
+	done        chan Response // live path; nil in the open-loop harness
+	resp        Response      // open-loop path result slot
+}
+
+// Core is the admission scheduler. All methods that touch the engine —
+// enqueue, flush, RunOpenLoop — must run on one goroutine (the scheduler
+// loop in live serving, the caller in the open-loop harness).
+type Core struct {
+	cfg   Config
+	sys   *core.System
+	eng   *engine.Engine
+	clock *sim.Clock
+	sess  *engine.SharedSession
+
+	queue    []*pending
+	seq      int64
+	inflight int // accepted, not yet responded
+	log      []AdmittedBatch
+
+	// Live-serving machinery (see http.go).
+	submit  chan *pending
+	stopc   chan struct{}
+	stopped chan struct{}
+
+	mSessions, mQueued, mRejected, mBatches, mMisses *obsv.Counter
+	gDepth, gActive                                  *obsv.Gauge
+	hWait                                            *obsv.Histogram
+}
+
+// NewCore returns a scheduler over the system's engine. The shared-scan
+// session — and its pass positions — persist for the core's lifetime, so
+// successive flush batches reuse the same elevator passes.
+func NewCore(cfg Config, sys *core.System) *Core {
+	r := obsv.Default()
+	return &Core{
+		cfg:       cfg,
+		sys:       sys,
+		eng:       sys.Engine,
+		clock:     sys.Machine.Clock,
+		sess:      sys.Engine.NewSharedSession(),
+		submit:    make(chan *pending), // unbuffered: an accepted send means the loop has it
+		stopc:     make(chan struct{}),
+		stopped:   make(chan struct{}),
+		mSessions: r.Counter(obsv.MetricServerSessions),
+		mQueued:   r.Counter(obsv.MetricServerQueued),
+		mRejected: r.Counter(obsv.MetricServerRejected),
+		mBatches:  r.Counter(obsv.MetricServerBatches),
+		mMisses:   r.Counter(obsv.MetricServerDeadlineMisses),
+		gDepth:    r.Gauge(obsv.MetricServerQueueDepth),
+		gActive:   r.Gauge(obsv.MetricServerActive),
+		hWait: r.Histogram(obsv.MetricServerQueueWait,
+			[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10}),
+	}
+}
+
+// Config returns the scheduler's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// System returns the simulated system the scheduler drives.
+func (c *Core) System() *core.System { return c.sys }
+
+// AdmissionLog returns every flush batch admitted so far, in order.
+func (c *Core) AdmissionLog() []AdmittedBatch { return c.log }
+
+// enqueue accepts or rejects one statement against the admission bound.
+// Scheduler goroutine only.
+func (c *Core) enqueue(p *pending) bool {
+	if c.inflight >= c.cfg.MaxInflight {
+		c.mRejected.Inc()
+		p.resp = Response{ID: p.id, Err: ErrOverloaded}
+		p.reply()
+		return false
+	}
+	c.seq++
+	p.seq = c.seq
+	if p.id == "" {
+		p.id = fmt.Sprintf("s%d", p.seq)
+	}
+	if p.tenant == "" {
+		p.tenant = "default"
+	}
+	p.arrive = c.clock.Now()
+	if p.req.Deadline > 0 {
+		p.deadline = p.arrive.Add(p.req.Deadline)
+		p.hasDeadline = true
+	}
+	c.inflight++
+	c.queue = append(c.queue, p)
+	c.mSessions.Inc()
+	c.gDepth.Set(float64(len(c.queue)))
+	c.gActive.Set(float64(c.inflight))
+	return true
+}
+
+// reply delivers the pending statement's response on the live path; the
+// open-loop harness reads resp directly.
+func (p *pending) reply() {
+	if p.done != nil {
+		p.done <- p.resp
+	}
+}
+
+// urgent reports whether some queued statement's remaining deadline
+// budget is at or below the urgent slack (deadline policy only).
+func (c *Core) urgent() bool {
+	if c.cfg.Policy != PolicyDeadline {
+		return false
+	}
+	now := c.clock.Now()
+	for _, p := range c.queue {
+		if p.hasDeadline && p.deadline.Sub(now) <= c.cfg.UrgentSlack {
+			return true
+		}
+	}
+	return false
+}
+
+// oldestArrival returns the earliest queue-entry instant in the queue.
+func (c *Core) oldestArrival() sim.Time {
+	t := c.queue[0].arrive
+	for _, p := range c.queue[1:] {
+		if p.arrive < t {
+			t = p.arrive
+		}
+	}
+	return t
+}
+
+// shouldFlush reports whether the queue is ready to flush without waiting
+// for more arrivals. more reports whether the caller can still deliver
+// future arrivals (false forces a flush of whatever is queued).
+func (c *Core) shouldFlush(more bool) bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	if c.cfg.Policy == PolicyPrivate || !more {
+		return true
+	}
+	if len(c.queue) >= c.cfg.FlushThreshold {
+		return true
+	}
+	if c.urgent() {
+		return true
+	}
+	return c.clock.Now().Sub(c.oldestArrival()) >= c.cfg.FlushWait
+}
+
+// takeBatch removes and returns the next flush batch in admission order
+// under the configured policy.
+func (c *Core) takeBatch() []*pending {
+	switch c.cfg.Policy {
+	case PolicyShared:
+		// Attach priority first (higher admits earlier on the pass),
+		// arrival order within a priority.
+		sort.SliceStable(c.queue, func(i, j int) bool {
+			if c.queue[i].req.Priority != c.queue[j].req.Priority {
+				return c.queue[i].req.Priority > c.queue[j].req.Priority
+			}
+			return c.queue[i].seq < c.queue[j].seq
+		})
+	case PolicyDeadline:
+		// Earliest deadline first; deadline-free statements after all
+		// deadlined ones, in arrival order.
+		sort.SliceStable(c.queue, func(i, j int) bool {
+			pi, pj := c.queue[i], c.queue[j]
+			if pi.hasDeadline != pj.hasDeadline {
+				return pi.hasDeadline
+			}
+			if pi.hasDeadline && pi.deadline != pj.deadline {
+				return pi.deadline < pj.deadline
+			}
+			return pi.seq < pj.seq
+		})
+	}
+	n := len(c.queue)
+	if c.cfg.Policy != PolicyPrivate && c.cfg.Window > 0 && n > c.cfg.Window {
+		n = c.cfg.Window
+	}
+	batch := make([]*pending, n)
+	copy(batch, c.queue)
+	c.queue = append(c.queue[:0], c.queue[n:]...)
+	c.gDepth.Set(float64(len(c.queue)))
+	return batch
+}
+
+// flush admits and executes one batch, replying to every statement in it.
+// Scheduler goroutine only.
+func (c *Core) flush() {
+	batch := c.takeBatch()
+	if len(batch) == 0 {
+		return
+	}
+	c.mBatches.Inc()
+	ids := make([]string, len(batch))
+	for i, p := range batch {
+		ids[i] = p.id
+	}
+	c.log = append(c.log, AdmittedBatch{At: c.clock.Now(), Policy: c.cfg.Policy, IDs: ids})
+
+	if c.cfg.Policy == PolicyPrivate {
+		for _, p := range batch {
+			c.executePrivate(p)
+		}
+	} else {
+		c.executeShared(batch)
+	}
+	for _, p := range batch {
+		c.finishStmt(p)
+	}
+	c.refreshGauges()
+}
+
+// finishStmt finalizes one executed statement: deadline accounting,
+// per-tenant accounting, the reply.
+func (c *Core) finishStmt(p *pending) {
+	r := &p.resp
+	r.ID = p.id
+	if p.hasDeadline && p.arrive.Add(r.Response) > p.deadline {
+		r.DeadlineMiss = true
+		c.mMisses.Inc()
+	}
+	if r.QueueWait > 0 {
+		c.mQueued.Inc()
+	}
+	c.hWait.Observe(r.QueueWait.Seconds())
+	reg := obsv.Default()
+	reg.Counter(obsv.MetricServerTenantQueries + p.tenant).Inc()
+	reg.FloatCounter(obsv.MetricServerTenantJoules + p.tenant).Add(r.Joules)
+	c.inflight--
+	c.gActive.Set(float64(c.inflight))
+	p.reply()
+}
+
+// executePrivate runs one statement through the plain (private-scan)
+// engine path, charging it an exact per-statement trace window.
+func (c *Core) executePrivate(p *pending) {
+	if p.req.Kind == StmtExplain {
+		c.executeExplain(p)
+		return
+	}
+	t0 := c.clock.Now()
+	prev := c.eng.Profiling()
+	c.eng.SetProfiling(c.cfg.Profiling || p.req.Kind == StmtAnalyze)
+	rows := c.eng.QueryQueued(p.req.Plan, p.arrive)
+	c.eng.SetProfiling(prev)
+	c.drainOne(p, rows)
+	t1 := c.clock.Now()
+	p.resp.Joules = float64(c.sys.Machine.CPU.Trace().Energy(t0, t1))
+	p.resp.QueueWait = t0.Sub(p.arrive)
+	p.resp.Response = t1.Sub(p.arrive)
+	obsv.Default().FloatCounter(obsv.MetricServerPolicyJoules + c.cfg.Policy.String()).Add(p.resp.Joules)
+}
+
+// executeShared co-admits a batch through the shared-scan session and
+// drains the result streams priority-weighted round-robin. With all
+// priorities zero the drain is exactly workload.RunShared's one pull per
+// live stream per round — the order the bit-identity contract pins.
+func (c *Core) executeShared(batch []*pending) {
+	t0 := c.clock.Now()
+	c.sess.SetExpectedConcurrency(len(batch))
+	streams := make([]*engine.Rows, len(batch))
+	starts := make([]sim.Time, len(batch))
+	for i, p := range batch {
+		if p.req.Kind == StmtExplain {
+			c.executeExplain(p)
+			continue
+		}
+		starts[i] = c.clock.Now()
+		prev := c.eng.Profiling()
+		c.eng.SetProfiling(c.cfg.Profiling || p.req.Kind == StmtAnalyze)
+		streams[i] = c.sess.Admit(p.req.Plan, engine.AdmitOpts{
+			Priority: p.req.Priority,
+			QueuedAt: p.arrive,
+			Queued:   true,
+		})
+		c.eng.SetProfiling(prev)
+	}
+	remaining := 0
+	for _, r := range streams {
+		if r != nil {
+			remaining++
+		}
+	}
+	executed := remaining
+	for remaining > 0 {
+		for i, r := range streams {
+			if r == nil {
+				continue
+			}
+			pulls := 1
+			if p := batch[i].req.Priority; p > 0 {
+				pulls += p
+			}
+			for k := 0; k < pulls && streams[i] != nil; k++ {
+				b, err := r.Next()
+				if err != nil {
+					batch[i].resp.Err = err
+					streams[i] = nil
+					remaining--
+					break
+				}
+				if b == nil {
+					c.finalizeShared(batch[i], r, starts[i])
+					streams[i] = nil
+					remaining--
+					break
+				}
+				if batch[i].req.CollectRows {
+					batch[i].resp.Rows = b.AppendRowsTo(batch[i].resp.Rows)
+				}
+			}
+		}
+	}
+	t1 := c.clock.Now()
+	window := float64(c.sys.Machine.CPU.Trace().Energy(t0, t1))
+	obsv.Default().FloatCounter(obsv.MetricServerPolicyJoules + c.cfg.Policy.String()).Add(window)
+	if !c.cfg.Profiling && executed > 0 {
+		// Without profiles the window's energy cannot be attributed per
+		// statement; split it evenly (documented approximation — turn
+		// Config.Profiling on for the exact partition).
+		share := window / float64(executed)
+		for i, p := range batch {
+			if p.req.Kind != StmtExplain && p.resp.Err == nil && streams[i] == nil {
+				if p.resp.Joules == 0 {
+					p.resp.Joules = share
+				}
+			}
+		}
+	}
+}
+
+// finalizeShared records one co-admitted statement's outcome at stream
+// exhaustion.
+func (c *Core) finalizeShared(p *pending, r *engine.Rows, start sim.Time) {
+	end := c.clock.Now()
+	st := r.Stats()
+	p.resp.RowsOut = st.RowsOut
+	p.resp.Columns = columnNames(r)
+	p.resp.QueueWait = start.Sub(p.arrive)
+	p.resp.Duration = st.Duration
+	p.resp.Response = end.Sub(p.arrive)
+	if prof := r.Profile(); prof != nil {
+		p.resp.Joules = prof.Joules
+		if p.req.Kind == StmtAnalyze {
+			p.resp.Explain = prof.Render()
+		}
+	}
+}
+
+// drainOne pulls a private statement's stream to completion, collecting
+// rows when asked.
+func (c *Core) drainOne(p *pending, rows *engine.Rows) {
+	for {
+		b, err := rows.Next()
+		if err != nil {
+			p.resp.Err = err
+			return
+		}
+		if b == nil {
+			break
+		}
+		if p.req.CollectRows {
+			p.resp.Rows = b.AppendRowsTo(p.resp.Rows)
+		}
+	}
+	st := rows.Stats()
+	p.resp.RowsOut = st.RowsOut
+	p.resp.Columns = columnNames(rows)
+	p.resp.Duration = st.Duration
+	// Joules stay the exact trace window executePrivate measures; the
+	// profile is only needed here for ANALYZE rendering.
+	if prof := rows.Profile(); prof != nil && p.req.Kind == StmtAnalyze {
+		p.resp.Explain = prof.Render()
+	}
+}
+
+// executeExplain renders the optimizer's plan — no simulated work, so it
+// can ride any batch without charging anything.
+func (c *Core) executeExplain(p *pending) {
+	out, err := sql.Explain(c.eng, p.req.SQL)
+	p.resp.Explain, p.resp.Err = out, err
+}
+
+// columnNames extracts the result schema's column names.
+func columnNames(r *engine.Rows) []string {
+	cols := r.Schema().Columns()
+	names := make([]string, len(cols))
+	for i, col := range cols {
+		names[i] = col.Name
+	}
+	return names
+}
+
+// refreshGauges updates the engine-owned gauges the /metrics endpoint
+// cannot touch itself (handlers never reach the engine; the scheduler
+// refreshes after every batch, exactly as engine.MetricsSnapshot would).
+func (c *Core) refreshGauges() {
+	if pool := c.eng.Pool(); pool != nil {
+		obsv.Default().Gauge(obsv.MetricPoolResident).Set(float64(pool.Used()))
+	}
+}

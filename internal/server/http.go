@@ -1,0 +1,358 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ecodb/internal/expr"
+	"ecodb/internal/obsv"
+	"ecodb/internal/sim"
+	"ecodb/internal/sql"
+)
+
+// This file is the live-serving edge: an HTTP front end over the admission
+// scheduler. Connection handlers are ordinary concurrent goroutines — the
+// server admits as many sessions as the OS gives it sockets — but they
+// only parse SQL (the catalog is read-only after load) and rendezvous with
+// the single scheduler goroutine, which owns every engine and clock touch.
+//
+//	POST /query    SQL text body; X-Tenant, X-Priority, X-Deadline-Ms headers
+//	GET  /metrics  the engine metrics registry, exposition text format
+//	GET  /healthz  "ok" until drain begins, 503 after
+//	GET  /tenants  per-tenant admitted-query and joule totals, JSON
+
+// Start launches the scheduler loop. Submissions rendezvous with the loop
+// over an unbuffered channel, so an accepted Do is guaranteed to be
+// answered — even by the drain path.
+func (c *Core) Start() {
+	go c.loop()
+}
+
+// Shutdown begins a graceful drain: new submissions are rejected with
+// ErrDraining while everything already accepted is flushed, executed, and
+// answered. It returns when the scheduler loop has exited or ctx expires.
+func (c *Core) Shutdown(ctx context.Context) error {
+	select {
+	case <-c.stopc:
+	default:
+		close(c.stopc)
+	}
+	select {
+	case <-c.stopped:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do submits one statement and blocks until its response. Safe to call
+// from any number of goroutines.
+func (c *Core) Do(req Request) Response {
+	p := &pending{req: req, id: req.ID, tenant: req.Tenant, done: make(chan Response, 1)}
+	select {
+	case c.submit <- p:
+		return <-p.done
+	case <-c.stopped:
+		return Response{ID: req.ID, Err: ErrDraining}
+	}
+}
+
+// loop is the scheduler: the one goroutine that touches the engine during
+// live serving. It gathers submissions into flush batches, times
+// co-admission windows in real time (the simulated clock only advances
+// while statements execute), and drains the queue on shutdown.
+func (c *Core) loop() {
+	defer close(c.stopped)
+	flushWait := time.Duration(c.cfg.FlushWait.Seconds() * float64(time.Second))
+	if flushWait <= 0 {
+		flushWait = time.Millisecond
+	}
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+	armed := false
+	for {
+		select {
+		case p := <-c.submit:
+			c.enqueue(p)
+			for c.shouldFlushLive() {
+				c.flush()
+			}
+			if len(c.queue) > 0 && !armed {
+				timer.Reset(flushWait)
+				armed = true
+			} else if len(c.queue) == 0 && armed {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				armed = false
+			}
+		case <-timer.C:
+			armed = false
+			for len(c.queue) > 0 {
+				c.flush()
+			}
+		case <-c.stopc:
+			// Drain: everything accepted gets executed and answered. A
+			// sender blocked on the unbuffered submit channel has not been
+			// accepted and unblocks via the stopped channel in Do.
+			for len(c.queue) > 0 {
+				c.flush()
+			}
+			return
+		}
+	}
+}
+
+// shouldFlushLive is the live loop's immediate-flush test: the private
+// policy never batches, a full window flushes, and deadline-urgent
+// statements bypass the window. The FlushWait timeout is the timer's job.
+func (c *Core) shouldFlushLive() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	return c.cfg.Policy == PolicyPrivate ||
+		len(c.queue) >= c.cfg.FlushThreshold ||
+		c.urgent()
+}
+
+// Server is the HTTP front end.
+type Server struct {
+	core     *Core
+	srv      *http.Server
+	draining atomic.Bool
+}
+
+// NewServer wires a Core to an address. Call Core.Start (or let
+// ListenAndServe do it) before serving.
+func NewServer(c *Core, addr string) *Server {
+	s := &Server{core: c}
+	s.srv = &http.Server{Addr: addr, Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the route table, for tests and embedding.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/tenants", s.handleTenants)
+	return mux
+}
+
+// ListenAndServe starts the scheduler and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	s.core.Start()
+	err := s.srv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: the listener stops accepting, in-flight
+// handlers finish (their statements are answered by the scheduler's drain),
+// and the scheduler loop exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	httpErr := s.srv.Shutdown(ctx)
+	coreErr := s.core.Shutdown(ctx)
+	if httpErr != nil {
+		return httpErr
+	}
+	return coreErr
+}
+
+// queryResponse is the /query JSON wire format. Times are simulated
+// seconds; joules are simulated CPU energy.
+type queryResponse struct {
+	ID           string   `json:"id,omitempty"`
+	Columns      []string `json:"columns,omitempty"`
+	Rows         [][]any  `json:"rows,omitempty"`
+	RowsOut      int64    `json:"rows_out"`
+	Explain      string   `json:"explain,omitempty"`
+	QueueWaitSec float64  `json:"queue_wait_seconds"`
+	DurationSec  float64  `json:"duration_seconds"`
+	ResponseSec  float64  `json:"response_seconds"`
+	Joules       float64  `json:"joules"`
+	DeadlineMiss bool     `json:"deadline_miss,omitempty"`
+	Error        string   `json:"error,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a SQL statement", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, queryResponse{Error: err.Error()})
+		return
+	}
+	query := strings.TrimSpace(string(body))
+	req, err := buildRequest(s.core, query, r.Header)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, queryResponse{Error: err.Error()})
+		return
+	}
+	resp := s.core.Do(req)
+	status := http.StatusOK
+	switch resp.Err {
+	case nil:
+	case ErrDraining:
+		status = http.StatusServiceUnavailable
+	case ErrOverloaded:
+		status = http.StatusTooManyRequests
+	default:
+		status = http.StatusBadRequest
+	}
+	out := queryResponse{
+		ID:           resp.ID,
+		Columns:      resp.Columns,
+		RowsOut:      resp.RowsOut,
+		Explain:      resp.Explain,
+		QueueWaitSec: resp.QueueWait.Seconds(),
+		DurationSec:  resp.Duration.Seconds(),
+		ResponseSec:  resp.Response.Seconds(),
+		Joules:       resp.Joules,
+		DeadlineMiss: resp.DeadlineMiss,
+	}
+	if resp.Err != nil {
+		out.Error = resp.Err.Error()
+	}
+	if len(resp.Rows) > 0 {
+		out.Rows = make([][]any, len(resp.Rows))
+		for i, row := range resp.Rows {
+			out.Rows[i] = rowJSON(row)
+		}
+	}
+	writeJSON(w, status, out)
+}
+
+// buildRequest parses one statement on the connection goroutine — binding
+// only reads the catalog, which is immutable after load — so the scheduler
+// never pays for malformed SQL.
+func buildRequest(c *Core, query string, h http.Header) (Request, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return Request{}, err
+	}
+	req := Request{
+		Tenant:      h.Get("X-Tenant"),
+		SQL:         query,
+		CollectRows: true,
+	}
+	if v := h.Get("X-Priority"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			return Request{}, fmt.Errorf("bad X-Priority %q: %w", v, err)
+		}
+		req.Priority = p
+	}
+	if v := h.Get("X-Deadline-Ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return Request{}, fmt.Errorf("bad X-Deadline-Ms %q", v)
+		}
+		req.Deadline = sim.Duration(ms / 1e3)
+	}
+	switch {
+	case stmt.Explain && stmt.Analyze:
+		req.Kind = StmtAnalyze
+	case stmt.Explain:
+		// The scheduler renders the plan from the raw SQL; nothing to bind.
+		req.Kind = StmtExplain
+		return req, nil
+	}
+	stmt.Explain, stmt.Analyze = false, false
+	p, err := sql.Bind(c.eng.Catalog(), stmt)
+	if err != nil {
+		return Request{}, err
+	}
+	req.Plan = p
+	return req, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The scheduler refreshed engine gauges after its last batch, so the
+	// registry snapshot is exactly engine.MetricsSnapshot's content —
+	// without handlers ever touching the engine.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, obsv.Default().Snapshot().Text())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	type tenant struct {
+		Queries int64   `json:"queries"`
+		Joules  float64 `json:"joules"`
+	}
+	snap := obsv.Default().Snapshot()
+	out := map[string]*tenant{}
+	get := func(name string) *tenant {
+		t, ok := out[name]
+		if !ok {
+			t = &tenant{}
+			out[name] = t
+		}
+		return t
+	}
+	for name, v := range snap.Counters {
+		if t, ok := strings.CutPrefix(name, obsv.MetricServerTenantQueries); ok {
+			get(t).Queries = v
+		}
+	}
+	for name, v := range snap.Floats {
+		if t, ok := strings.CutPrefix(name, obsv.MetricServerTenantJoules); ok {
+			get(t).Joules = v
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// rowJSON converts one result row to JSON-friendly values.
+func rowJSON(row expr.Row) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		switch v.Kind {
+		case expr.KindNull:
+			out[i] = nil
+		case expr.KindBool:
+			out[i] = v.I != 0
+		case expr.KindInt:
+			out[i] = v.I
+		case expr.KindFloat:
+			out[i] = v.F
+		case expr.KindString:
+			out[i] = v.S
+		case expr.KindDate:
+			out[i] = v.DateString()
+		default:
+			out[i] = v.String()
+		}
+	}
+	return out
+}

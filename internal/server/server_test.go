@@ -1,0 +1,420 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecodb/internal/core"
+	"ecodb/internal/engine"
+	"ecodb/internal/obsv"
+	"ecodb/internal/plan"
+	"ecodb/internal/sim"
+	"ecodb/internal/tpch"
+	"ecodb/internal/workload"
+)
+
+// testProfile is the serving profile the tests run under: commercial
+// physics with prepared-statement overhead, exactly as the ablation uses.
+func testProfile() engine.Profile {
+	prof := engine.ProfileCommercial()
+	prof.WorkAmplification = 1
+	prof.QueryOverheadCycles = 5e5
+	return prof
+}
+
+// newTestSystem builds a small warm SUT and the band workload's plans.
+// Loading and warming advance the simulated clock, so tests schedule
+// arrivals relative to clock.Now(), never at absolute zero.
+func newTestSystem(t *testing.T) (*core.System, []plan.Node) {
+	t.Helper()
+	sys := core.NewSystem(testProfile())
+	tpch.NewGenerator(0.0005, 42).Load(sys.Engine.Catalog(), tpch.Lineitem)
+	sys.Engine.WarmAll()
+	return sys, tpch.QuantityBandWorkload(sys.Engine.Catalog(), 25)
+}
+
+func queryRequests(plans []plan.Node, n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: fmt.Sprintf("q%02d", i), Plan: plans[i%len(plans)]}
+	}
+	return reqs
+}
+
+// wave schedules every request at the same simulated instant.
+func wave(at sim.Time, reqs []Request) []Arrival {
+	out := make([]Arrival, len(reqs))
+	for i, r := range reqs {
+		out[i] = Arrival{At: at, Req: r}
+	}
+	return out
+}
+
+func traceEnergy(sys *core.System) float64 {
+	return float64(sys.Machine.CPU.Trace().Energy(0, sys.Machine.Clock.Now()))
+}
+
+// TestZeroCapacityQueue: MaxInflight 0 means zero capacity, so every
+// statement bounces with ErrOverloaded and nothing executes.
+func TestZeroCapacityQueue(t *testing.T) {
+	sys, plans := newTestSystem(t)
+	cfg := DefaultConfig()
+	cfg.MaxInflight = 0
+	c := NewCore(cfg, sys)
+	before := obsv.Default().Counter(obsv.MetricServerRejected).Load()
+	res := c.RunOpenLoop(wave(sys.Machine.Clock.Now(), queryRequests(plans, 3)))
+	if res.Rejected != 3 || res.Completed != 0 {
+		t.Fatalf("zero-capacity queue: rejected=%d completed=%d, want 3/0", res.Rejected, res.Completed)
+	}
+	if got := obsv.Default().Counter(obsv.MetricServerRejected).Load() - before; got != 3 {
+		t.Fatalf("rejected counter advanced by %d, want 3", got)
+	}
+	if len(c.AdmissionLog()) != 0 {
+		t.Fatalf("zero-capacity queue admitted %d batches", len(c.AdmissionLog()))
+	}
+	c.Start()
+	if r := c.Do(Request{Plan: plans[0]}); r.Err != ErrOverloaded {
+		t.Fatalf("live submission error = %v, want ErrOverloaded", r.Err)
+	}
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDeadlineExpiredAtAdmission: a statement whose budget is already
+// blown when it reaches the engine still runs to completion — admission
+// never kills statements — and is counted missed exactly once.
+func TestDeadlineExpiredAtAdmission(t *testing.T) {
+	sys, plans := newTestSystem(t)
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyDeadline
+	cfg.FlushThreshold = 1
+	c := NewCore(cfg, sys)
+	before := obsv.Default().Counter(obsv.MetricServerDeadlineMisses).Load()
+	reqs := queryRequests(plans, 1)
+	reqs[0].Deadline = 1e-12 // expires before any simulated work can finish
+	res := c.RunOpenLoop(wave(sys.Machine.Clock.Now(), reqs))
+	if res.Completed != 1 {
+		t.Fatalf("expired statement did not complete: %+v", res)
+	}
+	if !res.Responses[0].DeadlineMiss || res.Misses != 1 {
+		t.Fatalf("expired statement not counted missed: %+v", res.Responses[0])
+	}
+	if got := obsv.Default().Counter(obsv.MetricServerDeadlineMisses).Load() - before; got != 1 {
+		t.Fatalf("deadline miss counter advanced by %d, want 1", got)
+	}
+	if res.Responses[0].RowsOut == 0 {
+		t.Fatalf("expired statement produced no rows — it must still run")
+	}
+}
+
+// TestDrainDuringInflight: shutdown while statements sit in the admission
+// queue executes and answers every accepted statement; later submissions
+// are refused with ErrDraining.
+func TestDrainDuringInflight(t *testing.T) {
+	sys, plans := newTestSystem(t)
+	cfg := DefaultConfig()
+	cfg.FlushThreshold = 100 // nothing flushes on its own...
+	cfg.FlushWait = 10       // ...for 10 real seconds of window wait
+	c := NewCore(cfg, sys)
+	c.Start()
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Do(Request{ID: fmt.Sprintf("d%d", i), Plan: plans[i]})
+		}(i)
+	}
+	// Wait until the scheduler has accepted all n into the queue.
+	depth := obsv.Default().Gauge(obsv.MetricServerQueueDepth)
+	for start := time.Now(); depth.Load() < n; {
+		if time.Since(start) > 5*time.Second {
+			t.Fatalf("queue never reached depth %d (at %v)", n, depth.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("accepted statement %d not completed on drain: %v", i, r.Err)
+		}
+		if r.RowsOut == 0 {
+			t.Fatalf("accepted statement %d drained without executing", i)
+		}
+	}
+	if r := c.Do(Request{Plan: plans[0]}); r.Err != ErrDraining {
+		t.Fatalf("post-drain submission error = %v, want ErrDraining", r.Err)
+	}
+}
+
+// TestBitIdentityWithRunShared: a single co-admitted server batch over the
+// same plans, on a twin system, produces byte-identical simulated clocks,
+// joules, and per-statement response times to the embedded
+// workload.RunShared path. Admission metadata is policy and observation,
+// never physics.
+func TestBitIdentityWithRunShared(t *testing.T) {
+	const n = 8
+
+	sysA, plansA := newTestSystem(t)
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyShared
+	cfg.Window = n
+	cfg.Profiling = false
+	c := NewCore(cfg, sysA)
+	res := c.RunOpenLoop(wave(sysA.Machine.Clock.Now(), queryRequests(plansA, n)))
+	if res.Completed != n || len(c.AdmissionLog()) != 1 {
+		t.Fatalf("server run: completed=%d batches=%d, want %d/1", res.Completed, len(c.AdmissionLog()), n)
+	}
+
+	sysB, plansB := newTestSystem(t)
+	out := workload.RunShared(sysB.Engine, sysB.Machine.Clock, workload.NewQueries("q", plansB[:n]))
+
+	endA, endB := sysA.Machine.Clock.Now(), sysB.Machine.Clock.Now()
+	if endA != endB {
+		t.Fatalf("clocks diverge: server %v vs embedded %v", endA, endB)
+	}
+	if jA, jB := traceEnergy(sysA), traceEnergy(sysB); jA != jB {
+		t.Fatalf("joules diverge: server %v vs embedded %v", jA, jB)
+	}
+	for i := range out.Queries {
+		if res.Responses[i].Response != out.Queries[i].End {
+			t.Fatalf("query %d response diverges: server %v vs embedded %v",
+				i, res.Responses[i].Response, out.Queries[i].End)
+		}
+	}
+}
+
+// TestSerialReplayBitIdentity: replaying a multi-batch open-loop run's
+// admission log — advance the clock to each batch instant, co-admit its
+// IDs' plans through a persistent shared session, drain round-robin —
+// reproduces the run's end clock and total joules exactly.
+func TestSerialReplayBitIdentity(t *testing.T) {
+	const n = 24
+
+	sysA, plansA := newTestSystem(t)
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyShared
+	cfg.FlushThreshold = 4
+	cfg.FlushWait = 0.002
+	cfg.Profiling = false
+	c := NewCore(cfg, sysA)
+	res := c.RunOpenLoop(OpenLoopArrivals(sysA.Machine.Clock.Now(), n, 2000, queryRequests(plansA, n)))
+	if res.Completed != n {
+		t.Fatalf("server run completed %d of %d", res.Completed, n)
+	}
+	adm := c.AdmissionLog()
+	if len(adm) < 2 {
+		t.Fatalf("want a multi-batch run, got %d batches", len(adm))
+	}
+
+	// Twin system: replay the log serially through the embedded path.
+	sysB, plansB := newTestSystem(t)
+	byID := map[string]plan.Node{}
+	for _, r := range queryRequests(plansB, n) {
+		byID[r.ID] = r.Plan
+	}
+	sess := sysB.Engine.NewSharedSession()
+	for _, batch := range adm {
+		sysB.Machine.Clock.AdvanceTo(batch.At)
+		sess.SetExpectedConcurrency(len(batch.IDs))
+		streams := make([]*engine.Rows, len(batch.IDs))
+		for i, id := range batch.IDs {
+			streams[i] = sess.Query(byID[id])
+		}
+		remaining := len(streams)
+		for remaining > 0 {
+			for i, r := range streams {
+				if r == nil {
+					continue
+				}
+				b, err := r.Next()
+				if err != nil {
+					t.Fatalf("replay error: %v", err)
+				}
+				if b == nil {
+					streams[i] = nil
+					remaining--
+				}
+			}
+		}
+	}
+	endA, endB := sysA.Machine.Clock.Now(), sysB.Machine.Clock.Now()
+	if endA != endB {
+		t.Fatalf("replay clock diverges: %v vs %v", endA, endB)
+	}
+	if jA, jB := traceEnergy(sysA), traceEnergy(sysB); jA != jB {
+		t.Fatalf("replay joules diverge: %v vs %v", jA, jB)
+	}
+}
+
+// TestQueueWaitSpanInAnalyze: a statement that waited in the admission
+// queue shows the wait as a QueueWait span in its EXPLAIN ANALYZE tree.
+func TestQueueWaitSpanInAnalyze(t *testing.T) {
+	sys, plans := newTestSystem(t)
+	cfg := DefaultConfig()
+	cfg.FlushThreshold = 2
+	c := NewCore(cfg, sys)
+	// q0 arrives first and waits for q1 to fill the co-admission window:
+	// a real, deterministic 1 ms queue wait.
+	start := sys.Machine.Clock.Now()
+	arr := []Arrival{
+		{At: start, Req: Request{ID: "q0", Plan: plans[0], Kind: StmtAnalyze}},
+		{At: start.Add(0.001), Req: Request{ID: "q1", Plan: plans[1]}},
+	}
+	res := c.RunOpenLoop(arr)
+	if res.Completed != 2 {
+		t.Fatalf("completed %d of 2", res.Completed)
+	}
+	r0 := res.Responses[0]
+	if r0.QueueWait <= 0 {
+		t.Fatalf("q0 queue wait = %v, want > 0", r0.QueueWait)
+	}
+	if !strings.Contains(r0.Explain, "QueueWait") {
+		t.Fatalf("EXPLAIN ANALYZE missing QueueWait span:\n%s", r0.Explain)
+	}
+}
+
+// TestPriorityDrainsFirst: within one co-admitted batch, a higher-priority
+// statement's stream is drained ahead of its best-effort peers, so it
+// finishes strictly sooner.
+func TestPriorityDrainsFirst(t *testing.T) {
+	sys, plans := newTestSystem(t)
+	cfg := DefaultConfig()
+	cfg.Profiling = false
+	c := NewCore(cfg, sys)
+	reqs := queryRequests(plans, 4)
+	reqs[3].Priority = 3
+	res := c.RunOpenLoop(wave(sys.Machine.Clock.Now(), reqs))
+	if res.Completed != 4 {
+		t.Fatalf("completed %d of 4", res.Completed)
+	}
+	prio := res.Responses[3].Response
+	for i := 0; i < 3; i++ {
+		if prio >= res.Responses[i].Response {
+			t.Fatalf("priority statement (%v) did not finish before best-effort %d (%v)",
+				prio, i, res.Responses[i].Response)
+		}
+	}
+}
+
+// TestHTTPServerSmoke: concurrent HTTP sessions against the full stack —
+// queries answered, metrics exposed from the registry, healthz flips to
+// 503 on drain, and post-drain queries are refused.
+func TestHTTPServerSmoke(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	c := NewCore(DefaultConfig(), sys)
+	s := NewServer(c, "unused")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c.Start()
+
+	sessionsBefore := obsv.Default().Counter(obsv.MetricServerSessions).Load()
+	const n = 40
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := fmt.Sprintf("SELECT COUNT(*) FROM lineitem WHERE l_quantity < %d", i%20+2)
+			req, _ := http.NewRequest("POST", ts.URL+"/query", strings.NewReader(q))
+			req.Header.Set("X-Tenant", fmt.Sprintf("tenant%d", i%4))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", hresp.StatusCode)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), obsv.MetricServerSessions) {
+		t.Fatalf("metrics missing %s:\n%s", obsv.MetricServerSessions, metrics)
+	}
+	if got := obsv.Default().Counter(obsv.MetricServerSessions).Load() - sessionsBefore; got != n {
+		t.Fatalf("sessions counter advanced by %d, want %d", got, n)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The httptest listener is separate from the server's own, so the
+	// handler still answers — and must report draining.
+	hresp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after drain: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain = %d, want 503", hresp.StatusCode)
+	}
+	qresp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("SELECT COUNT(*) FROM lineitem"))
+	if err != nil {
+		t.Fatalf("query after drain: %v", err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query after drain = %d, want 503", qresp.StatusCode)
+	}
+}
+
+// TestProfilingIsBitNeutral: the same open-loop run with and without
+// per-statement profiling lands on identical clocks and joules —
+// observation never charges.
+func TestProfilingIsBitNeutral(t *testing.T) {
+	run := func(profiling bool) (sim.Time, float64) {
+		sys, plans := newTestSystem(t)
+		cfg := DefaultConfig()
+		cfg.FlushThreshold = 4
+		cfg.Profiling = profiling
+		c := NewCore(cfg, sys)
+		res := c.RunOpenLoop(OpenLoopArrivals(sys.Machine.Clock.Now(), 12, 3000, queryRequests(plans, 12)))
+		if res.Completed != 12 {
+			t.Fatalf("completed %d of 12", res.Completed)
+		}
+		return sys.Machine.Clock.Now(), traceEnergy(sys)
+	}
+	endOn, jOn := run(true)
+	endOff, jOff := run(false)
+	if endOn != endOff || jOn != jOff {
+		t.Fatalf("profiling changed physics: end %v vs %v, joules %v vs %v", endOn, endOff, jOn, jOff)
+	}
+}
